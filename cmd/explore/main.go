@@ -1,0 +1,78 @@
+// Command explore runs architecture exploration by iterative improvement
+// (paper §1, Figure 1): starting from a base ISDL description, it mutates
+// the instruction set, recompiles the kernel with the retargetable
+// compiler, re-evaluates every candidate with the generated simulator and
+// hardware model, and hill-climbs the run-time/area/power objective.
+//
+// Usage:
+//
+//	explore -m spam2 -k kernel.k [-iters 8] [-o best.isdl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/explore"
+)
+
+func main() {
+	machine := flag.String("m", "", "base machine: .isdl file or builtin (toy, spam, spam2)")
+	kernelFile := flag.String("k", "", "kernel-language workload file")
+	iters := flag.Int("iters", 8, "maximum improvement iterations")
+	out := flag.String("o", "", "write the winning ISDL description here")
+	wRun := flag.Float64("w-runtime", 1, "objective weight: run time (us)")
+	wArea := flag.Float64("w-area", 0.5, "objective weight: area (10k grid cells)")
+	wPow := flag.Float64("w-power", 0.2, "objective weight: power (mW)")
+	flag.Parse()
+	if *machine == "" || *kernelFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: explore -m <machine> -k <kernel.k> [-iters n] [-o best.isdl]")
+		os.Exit(2)
+	}
+	baseSrc, err := loadSource(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	kernel, err := os.ReadFile(*kernelFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	ex := &repro.Explorer{
+		Base:     baseSrc,
+		Kernel:   string(kernel),
+		Weights:  explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow},
+		MaxIters: *iters,
+		Log:      func(s string) { fmt.Println(s) },
+	}
+	res, err := ex.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Report())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(res.FinalSource), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func loadSource(arg string) (string, error) {
+	if src, ok := repro.Machines()[arg]; ok {
+		return src, nil
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return "", err
+	}
+	return string(blob), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command paper regenerates every table of the paper's evaluation (§6) and
+// the ablations DESIGN.md defines, in one run:
+//
+//	paper                  everything (Table 1 uses a 2 s budget per model)
+//	paper -table 1         just the simulation-speed comparison
+//	paper -table 2         just the synthesis statistics
+//	paper -ablation all    just the ablations
+//	paper -budget 500ms    quicker (noisier) Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1 | 2 | all | none")
+	ablation := flag.String("ablation", "all", "which ablation: sharing | decode | stalls | all | none")
+	budget := flag.Duration("budget", 2*time.Second, "measurement budget per simulator for Table 1")
+	flag.Parse()
+
+	if *table == "1" || *table == "all" {
+		t1, err := experiments.RunTable1(*budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t1.Render())
+	}
+	if *table == "2" || *table == "all" {
+		rows, err := experiments.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if *ablation == "sharing" || *ablation == "all" {
+		rows, err := experiments.RunAblationSharing()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderSharing(rows))
+	}
+	if *ablation == "decode" || *ablation == "all" {
+		rows, err := experiments.RunAblationDecode()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderDecode(rows))
+	}
+	if *ablation == "stalls" || *ablation == "all" {
+		rows, err := experiments.RunAblationStalls()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderStalls(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	os.Exit(1)
+}

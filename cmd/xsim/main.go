@@ -1,0 +1,95 @@
+// Command xsim runs the generated instruction-level simulator (paper §3)
+// with the command-line and batch interface of §3.1: breakpoints, state
+// monitors, attached commands, execution traces and utilization statistics.
+//
+// Usage:
+//
+//	xsim -m <machine>                       interactive session
+//	xsim -m <machine> -s prog.s -run        assemble, run to halt, stats
+//	xsim -m <machine> prog.xbin -batch f    load image, run a batch script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/xsim"
+)
+
+func main() {
+	machine := flag.String("m", "", "machine: .isdl file or builtin (toy, spam, spam2)")
+	source := flag.String("s", "", "assembly source to assemble and load")
+	batch := flag.String("batch", "", "batch command script to execute")
+	run := flag.Bool("run", false, "run to halt and print statistics")
+	flag.Parse()
+	if *machine == "" {
+		fmt.Fprintln(os.Stderr, "usage: xsim -m <machine> [-s prog.s | prog.xbin] [-batch script] [-run]")
+		os.Exit(2)
+	}
+	d, err := loadDescription(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	sim := xsim.New(d)
+	sess := xsim.NewSession(sim, os.Stdout)
+	sess.Open = os.ReadFile
+	sess.Create = func(name string) (io.WriteCloser, error) { return os.Create(name) }
+
+	if *source != "" {
+		blob, err := os.ReadFile(*source)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := repro.Assemble(d, string(blob))
+		if err != nil {
+			fatal(err)
+		}
+		if err := sess.LoadProgram(p); err != nil {
+			fatal(err)
+		}
+	} else if flag.NArg() == 1 {
+		if err := sess.Execute("load " + flag.Arg(0)); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *batch != "":
+		f, err := os.Open(*batch)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sess.RunScript(f); err != nil {
+			fatal(err)
+		}
+	case *run:
+		if err := sess.Execute("run"); err != nil {
+			fatal(err)
+		}
+		if err := sess.Execute("stats"); err != nil {
+			fatal(err)
+		}
+	default:
+		sess.REPL(os.Stdin)
+	}
+}
+
+func loadDescription(arg string) (*repro.Description, error) {
+	if src, ok := repro.Machines()[arg]; ok {
+		return repro.ParseISDL(src)
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	return repro.ParseISDL(string(blob))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xsim:", err)
+	os.Exit(1)
+}

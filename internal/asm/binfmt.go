@@ -1,0 +1,148 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/isdl"
+)
+
+// The XBIN format is the simple textual object format the cmd tools exchange
+// (the "BIN" box of Figure 1): a header naming the machine, the load base,
+// symbols, data initializers and hex instruction words, one per line.
+
+// Marshal renders the program in XBIN format.
+func Marshal(p *Program) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "XBIN %s %d\n", p.Desc.Name, p.Desc.WordWidth)
+	fmt.Fprintf(&sb, "ORG %d\n", p.Base)
+	for _, name := range p.SymbolsSorted() {
+		fmt.Fprintf(&sb, "SYM %s %d\n", name, p.Symbols[name])
+	}
+	for _, di := range p.Data {
+		fmt.Fprintf(&sb, "DATA %s %d", di.Storage, di.Base)
+		for _, v := range di.Values {
+			fmt.Fprintf(&sb, " %x", v.Uint64())
+		}
+		sb.WriteByte('\n')
+	}
+	for _, w := range p.Words {
+		fmt.Fprintf(&sb, "W %s\n", hexWord(w))
+	}
+	return []byte(sb.String())
+}
+
+func hexWord(v bitvec.Value) string {
+	digits := (v.Width() + 3) / 4
+	s := ""
+	for i := 0; i < digits; i++ {
+		nib := v.ShrL(4*i).Uint64() & 0xf
+		s = fmt.Sprintf("%x", nib) + s
+	}
+	return s
+}
+
+// Unmarshal parses XBIN text against a description, verifying the machine
+// name and word width.
+func Unmarshal(d *isdl.Description, data []byte) (*Program, error) {
+	p := &Program{Desc: d, Symbols: map[string]int{}, Source: map[int]string{}}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	lineNo := 0
+	seenHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("xbin line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "XBIN":
+			if len(fields) != 3 {
+				return nil, fail("malformed header")
+			}
+			if fields[1] != d.Name {
+				return nil, fail("program is for machine %q, description is %q", fields[1], d.Name)
+			}
+			w, err := strconv.Atoi(fields[2])
+			if err != nil || w != d.WordWidth {
+				return nil, fail("word width %s does not match description width %d", fields[2], d.WordWidth)
+			}
+			seenHeader = true
+		case "ORG":
+			if len(fields) != 2 {
+				return nil, fail("malformed ORG")
+			}
+			b, err := strconv.Atoi(fields[1])
+			if err != nil || b < 0 {
+				return nil, fail("bad base %q", fields[1])
+			}
+			p.Base = b
+		case "SYM":
+			if len(fields) != 3 {
+				return nil, fail("malformed SYM")
+			}
+			a, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fail("bad symbol address %q", fields[2])
+			}
+			p.Symbols[fields[1]] = a
+		case "DATA":
+			if len(fields) < 3 {
+				return nil, fail("malformed DATA")
+			}
+			st, ok := d.StorageByName[fields[1]]
+			if !ok {
+				return nil, fail("unknown storage %s", fields[1])
+			}
+			base, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fail("bad DATA base %q", fields[2])
+			}
+			di := DataInit{Storage: fields[1], Base: base}
+			for _, h := range fields[3:] {
+				v, err := strconv.ParseUint(h, 16, 64)
+				if err != nil {
+					return nil, fail("bad DATA value %q", h)
+				}
+				di.Values = append(di.Values, bitvec.FromUint64(st.Width, v))
+			}
+			p.Data = append(p.Data, di)
+		case "W":
+			if len(fields) != 2 {
+				return nil, fail("malformed W")
+			}
+			v, err := parseHexWord(d.WordWidth, fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Words = append(p.Words, v)
+		default:
+			return nil, fail("unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("xbin: missing XBIN header")
+	}
+	return p, nil
+}
+
+func parseHexWord(width int, s string) (bitvec.Value, error) {
+	v := bitvec.New(width)
+	for _, c := range s {
+		if !isHexDigit(byte(c)) {
+			return bitvec.Value{}, fmt.Errorf("bad hex word %q", s)
+		}
+		v = v.Shl(4).Or(bitvec.FromUint64(width, uint64(hexVal(byte(c)))))
+	}
+	return v, nil
+}

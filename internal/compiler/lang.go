@@ -1,0 +1,579 @@
+// Package compiler is a compact retargetable code generator in the spirit
+// of the AVIV system the paper's exploration loop relies on ([2], Figure 1).
+// It compiles a small imperative kernel language to the assembly of any
+// ISDL machine that exposes the usual primitives (register-file ALU
+// operations, immediate moves, loads/stores, a branch and a halt), which it
+// discovers by classifying the behaviour of each operation's RTL — no
+// per-machine tables.
+//
+// The kernel language:
+//
+//	var x, y = 3;                 // machine-word variables
+//	array a[16] in DMX at 0 = { 1, 2, 3 };
+//	for i = 0 to 15 { s = s + a[i]; }
+//	while (x < y) { x = x + 1; }
+//	if (s >= 100) { y = s - 100; } else { y = s; }
+//
+// Programs halt implicitly at the end.
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// --- AST ---------------------------------------------------------------
+
+// Program is a parsed kernel program.
+type Program struct {
+	Vars   []*VarDecl
+	Arrays []*ArrayDecl
+	Body   []Stmt
+}
+
+// VarDecl declares a machine-word variable with an optional initial value.
+type VarDecl struct {
+	Name string
+	Init int64
+}
+
+// ArrayDecl binds an array to a region of a named data storage.
+type ArrayDecl struct {
+	Name    string
+	Size    int
+	Storage string
+	Base    int
+	Init    []int64
+}
+
+// Stmt is a kernel statement.
+type Stmt interface{ kstmt() }
+
+// AssignStmt is "name = expr;" or "name[idx] = expr;".
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalars
+	Value Expr
+}
+
+// IfStmt is a two-armed conditional.
+type IfStmt struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt loops while the condition holds.
+type WhileStmt struct {
+	Cond Cond
+	Body []Stmt
+}
+
+// ForStmt is an inclusive counted loop.
+type ForStmt struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+}
+
+func (*AssignStmt) kstmt() {}
+func (*IfStmt) kstmt()     {}
+func (*WhileStmt) kstmt()  {}
+func (*ForStmt) kstmt()    {}
+
+// Cond is a relational condition.
+type Cond struct {
+	Op   string // == != < <= > >=
+	L, R Expr
+}
+
+// Expr is a kernel expression.
+type Expr interface{ kexpr() }
+
+// Num is an integer literal.
+type Num struct{ V int64 }
+
+// Var reads a scalar variable.
+type Var struct{ Name string }
+
+// Elem reads an array element.
+type Elem struct {
+	Name string
+	Idx  Expr
+}
+
+// Bin is a binary operation: + - * & | ^ << >>.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Num) kexpr()  {}
+func (*Var) kexpr()  {}
+func (*Elem) kexpr() {}
+func (*Bin) kexpr()  {}
+
+// --- Parser ------------------------------------------------------------
+
+// ParseKernel parses kernel-language source.
+func ParseKernel(src string) (*Program, error) {
+	p := &kparser{toks: ktokenize(src)}
+	prog := &Program{}
+	for !p.eof() {
+		switch {
+		case p.at("var"):
+			if err := p.parseVar(prog); err != nil {
+				return nil, err
+			}
+		case p.at("array"):
+			if err := p.parseArray(prog); err != nil {
+				return nil, err
+			}
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Body = append(prog.Body, s)
+		}
+	}
+	return prog, nil
+}
+
+type ktok struct {
+	text  string
+	num   int64
+	isNum bool
+	line  int
+}
+
+func ktokenize(src string) []ktok {
+	var out []ktok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			n, _ := strconv.ParseInt(src[i:j], 10, 64)
+			out = append(out, ktok{text: src[i:j], num: n, isNum: true, line: line})
+			i = j
+		case isKWord(c):
+			j := i
+			for j < len(src) && (isKWord(src[j]) || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			out = append(out, ktok{text: src[i:j], line: line})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "<<", ">>":
+				out = append(out, ktok{text: two, line: line})
+				i += 2
+			default:
+				out = append(out, ktok{text: string(c), line: line})
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func isKWord(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+type kparser struct {
+	toks []ktok
+	pos  int
+}
+
+func (p *kparser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *kparser) at(s string) bool {
+	return !p.eof() && !p.toks[p.pos].isNum && p.toks[p.pos].text == s
+}
+
+func (p *kparser) accept(s string) bool {
+	if p.at(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *kparser) errf(format string, args ...interface{}) error {
+	line := 0
+	if !p.eof() {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("kernel line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *kparser) expect(s string) error {
+	if !p.accept(s) {
+		found := "<eof>"
+		if !p.eof() {
+			found = p.toks[p.pos].text
+		}
+		return p.errf("expected %q, found %q", s, found)
+	}
+	return nil
+}
+
+func (p *kparser) ident() (string, error) {
+	if p.eof() || p.toks[p.pos].isNum || !isKWord(p.toks[p.pos].text[0]) {
+		return "", p.errf("expected identifier")
+	}
+	t := p.toks[p.pos].text
+	p.pos++
+	return t, nil
+}
+
+func (p *kparser) number() (int64, error) {
+	neg := p.accept("-")
+	if p.eof() || !p.toks[p.pos].isNum {
+		return 0, p.errf("expected number")
+	}
+	v := p.toks[p.pos].num
+	p.pos++
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *kparser) parseVar(prog *Program) error {
+	p.pos++ // var
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		d := &VarDecl{Name: name}
+		if p.accept("=") {
+			if d.Init, err = p.number(); err != nil {
+				return err
+			}
+		}
+		prog.Vars = append(prog.Vars, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return p.expect(";")
+}
+
+func (p *kparser) parseArray(prog *Program) error {
+	p.pos++ // array
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	size, err := p.number()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("]"); err != nil {
+		return err
+	}
+	if err := p.expect("in"); err != nil {
+		return err
+	}
+	stg, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("at"); err != nil {
+		return err
+	}
+	base, err := p.number()
+	if err != nil {
+		return err
+	}
+	d := &ArrayDecl{Name: name, Size: int(size), Storage: stg, Base: int(base)}
+	if p.accept("=") {
+		if err := p.expect("{"); err != nil {
+			return err
+		}
+		for !p.at("}") {
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			d.Init = append(d.Init, v)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return err
+		}
+		if len(d.Init) > d.Size {
+			return p.errf("array %s: %d initializers for %d elements", name, len(d.Init), d.Size)
+		}
+	}
+	prog.Arrays = append(prog.Arrays, d)
+	return p.expect(";")
+}
+
+func (p *kparser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("}") {
+		if p.eof() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *kparser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at("if"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept("else") {
+			if st.Else, err = p.parseBlock(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.at("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.at("for"):
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		from, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("to"); err != nil {
+			return nil, err
+		}
+		to, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: name, From: from, To: to, Body: body}, nil
+	}
+
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &AssignStmt{Name: name}
+	if p.accept("[") {
+		if st.Index, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	if st.Value, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	return st, p.expect(";")
+}
+
+func (p *kparser) parseCond() (Cond, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return Cond{}, err
+	}
+	var op string
+	for _, candidate := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(candidate) {
+			op = candidate
+			break
+		}
+	}
+	if op == "" {
+		return Cond{}, p.errf("expected relational operator")
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Op: op, L: l, R: r}, nil
+}
+
+func (p *kparser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("+"):
+			op = "+"
+		case p.accept("-"):
+			op = "-"
+		case p.accept("|"):
+			op = "|"
+		case p.accept("^"):
+			op = "^"
+		default:
+			return l, nil
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *kparser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("*"):
+			op = "*"
+		case p.accept("&"):
+			op = "&"
+		case p.accept("<<"):
+			op = "<<"
+		case p.accept(">>"):
+			op = ">>"
+		default:
+			return l, nil
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *kparser) parseFactor() (Expr, error) {
+	switch {
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case p.accept("-"):
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := f.(*Num); ok {
+			return &Num{V: -n.V}, nil
+		}
+		return &Bin{Op: "-", L: &Num{V: 0}, R: f}, nil
+	case !p.eof() && p.toks[p.pos].isNum:
+		v := p.toks[p.pos].num
+		p.pos++
+		return &Num{V: v}, nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &Elem{Name: name, Idx: idx}, nil
+		}
+		return &Var{Name: name}, nil
+	}
+}
+
+// String renders the program back to (normalized) source, for diagnostics.
+func (prog *Program) String() string {
+	var sb strings.Builder
+	for _, v := range prog.Vars {
+		fmt.Fprintf(&sb, "var %s = %d;\n", v.Name, v.Init)
+	}
+	for _, a := range prog.Arrays {
+		fmt.Fprintf(&sb, "array %s[%d] in %s at %d;\n", a.Name, a.Size, a.Storage, a.Base)
+	}
+	fmt.Fprintf(&sb, "// %d top-level statements\n", len(prog.Body))
+	return sb.String()
+}

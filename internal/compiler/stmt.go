@@ -1,0 +1,446 @@
+package compiler
+
+import (
+	"repro/internal/decode"
+)
+
+// Statement and expression lowering. Conditions are synthesized from
+// whatever branch primitives the target exposes: a branch-if-zero /
+// branch-if-non-zero, or a register-equality branch plus a jump. Relational
+// tests use the sign of a difference (masked with the minimum-integer
+// constant), which needs only subtract and bitwise-and — primitives every
+// classifiable machine has.
+
+func (g *codegen) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *AssignStmt:
+		if s.Index != nil {
+			return g.assignElem(s)
+		}
+		loc, ok := g.vars[s.Name]
+		if !ok {
+			return g.errf("undeclared variable %s", s.Name)
+		}
+		if loc.spilled {
+			val, err := g.eval(s.Value)
+			if err != nil {
+				return err
+			}
+			addr, err := g.allocTemp()
+			if err != nil {
+				return err
+			}
+			if err := g.emitConst(addr, int64(loc.addr)); err != nil {
+				return err
+			}
+			if err := g.emitStore(loc.mem, addr, val); err != nil {
+				return err
+			}
+			g.freeTemp(addr)
+			g.freeIfTemp(val)
+			return nil
+		}
+		return g.evalInto(loc.reg, s.Value)
+
+	case *IfStmt:
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		target := elseL
+		if len(s.Else) == 0 {
+			target = endL
+		}
+		if err := g.branchCond(s.Cond, target, false); err != nil {
+			return err
+		}
+		if err := g.stmts(s.Then); err != nil {
+			return err
+		}
+		if len(s.Else) > 0 {
+			g.emitJump(endL)
+			g.pushLabel(elseL)
+			if err := g.stmts(s.Else); err != nil {
+				return err
+			}
+		}
+		g.pushLabel(endL)
+		return nil
+
+	case *WhileStmt:
+		loopL := g.newLabel("while")
+		endL := g.newLabel("wend")
+		g.pushLabel(loopL)
+		if err := g.branchCond(s.Cond, endL, false); err != nil {
+			return err
+		}
+		if err := g.stmts(s.Body); err != nil {
+			return err
+		}
+		g.emitJump(loopL)
+		g.pushLabel(endL)
+		return nil
+
+	case *ForStmt:
+		loc, ok := g.vars[s.Var]
+		if !ok {
+			return g.errf("for loop variable %s is not declared", s.Var)
+		}
+		if loc.spilled {
+			return g.errf("for loop variable %s must live in a register (declare it earlier)", s.Var)
+		}
+		if err := g.evalInto(loc.reg, s.From); err != nil {
+			return err
+		}
+		loopL := g.newLabel("for")
+		endL := g.newLabel("fend")
+		g.pushLabel(loopL)
+		if err := g.branchCond(Cond{Op: "<=", L: &Var{Name: s.Var}, R: s.To}, endL, false); err != nil {
+			return err
+		}
+		if err := g.stmts(s.Body); err != nil {
+			return err
+		}
+		if !g.emitBinImm("+", loc.reg, loc.reg, 1) {
+			one, err := g.allocTemp()
+			if err != nil {
+				return err
+			}
+			if err := g.emitConst(one, 1); err != nil {
+				return err
+			}
+			if err := g.emitBin("+", loc.reg, loc.reg, one); err != nil {
+				return err
+			}
+			g.freeTemp(one)
+		}
+		g.emitJump(loopL)
+		g.pushLabel(endL)
+		return nil
+	}
+	return g.errf("unknown statement")
+}
+
+func (g *codegen) assignElem(s *AssignStmt) error {
+	arr, ok := g.arrays[s.Name]
+	if !ok {
+		return g.errf("undeclared array %s", s.Name)
+	}
+	val, err := g.eval(s.Value)
+	if err != nil {
+		return err
+	}
+	addr, err := g.evalAddr(arr, s.Index)
+	if err != nil {
+		return err
+	}
+	if err := g.emitStore(arr.Storage, addr, val); err != nil {
+		return err
+	}
+	g.freeIfTemp(addr)
+	g.freeIfTemp(val)
+	return nil
+}
+
+// eval computes an expression into a register: a variable's home register
+// when possible (not to be modified by the caller), otherwise a fresh
+// temporary.
+func (g *codegen) eval(e Expr) (int, error) {
+	if v, ok := e.(*Var); ok {
+		if loc, found := g.vars[v.Name]; found && !loc.spilled {
+			return loc.reg, nil
+		}
+	}
+	t, err := g.allocTemp()
+	if err != nil {
+		return 0, err
+	}
+	if err := g.evalInto(t, e); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+// evalInto computes an expression into a specific register.
+func (g *codegen) evalInto(dst int, e Expr) error {
+	switch e := e.(type) {
+	case *Num:
+		return g.emitConst(dst, e.V)
+	case *Var:
+		loc, ok := g.vars[e.Name]
+		if !ok {
+			return g.errf("undeclared variable %s", e.Name)
+		}
+		if loc.spilled {
+			addr, err := g.allocTemp()
+			if err != nil {
+				return err
+			}
+			if err := g.emitConst(addr, int64(loc.addr)); err != nil {
+				return err
+			}
+			if err := g.emitLoad(loc.mem, dst, addr); err != nil {
+				return err
+			}
+			g.freeTemp(addr)
+			return nil
+		}
+		if loc.reg == dst {
+			return nil
+		}
+		return g.emitMovReg(dst, loc.reg)
+	case *Elem:
+		arr, ok := g.arrays[e.Name]
+		if !ok {
+			return g.errf("undeclared array %s", e.Name)
+		}
+		addr, err := g.evalAddr(arr, e.Idx)
+		if err != nil {
+			return err
+		}
+		if err := g.emitLoad(arr.Storage, dst, addr); err != nil {
+			return err
+		}
+		g.freeIfTemp(addr)
+		return nil
+	case *Bin:
+		a, err := g.eval(e.L)
+		if err != nil {
+			return err
+		}
+		if n, ok := e.R.(*Num); ok && g.emitBinImm(e.Op, dst, a, n.V) {
+			g.freeIfTemp(a)
+			return nil
+		}
+		b, err := g.eval(e.R)
+		if err != nil {
+			return err
+		}
+		if err := g.emitBin(e.Op, dst, a, b); err != nil {
+			return err
+		}
+		g.freeIfTemp(a)
+		g.freeIfTemp(b)
+		return nil
+	}
+	return g.errf("unknown expression")
+}
+
+// evalAddr computes the address of arr[idx] into a register.
+func (g *codegen) evalAddr(arr *ArrayDecl, idx Expr) (int, error) {
+	if n, ok := idx.(*Num); ok {
+		t, err := g.allocTemp()
+		if err != nil {
+			return 0, err
+		}
+		return t, g.emitConst(t, int64(arr.Base)+n.V)
+	}
+	ireg, err := g.eval(idx)
+	if err != nil {
+		return 0, err
+	}
+	if arr.Base == 0 {
+		return ireg, nil
+	}
+	t, err := g.allocTemp()
+	if err != nil {
+		return 0, err
+	}
+	if g.emitBinImm("+", t, ireg, int64(arr.Base)) {
+		g.freeIfTemp(ireg)
+		return t, nil
+	}
+	if err := g.emitConst(t, int64(arr.Base)); err != nil {
+		return 0, err
+	}
+	if err := g.emitBin("+", t, t, ireg); err != nil {
+		return 0, err
+	}
+	g.freeIfTemp(ireg)
+	return t, nil
+}
+
+// --- conditions ----------------------------------------------------------
+
+var negated = map[string]string{
+	"==": "!=", "!=": "==", "<": ">=", ">=": "<", "<=": ">", ">": "<=",
+}
+
+// branchCond branches to target when the condition's truth equals whenTrue.
+func (g *codegen) branchCond(c Cond, target string, whenTrue bool) error {
+	op := c.Op
+	if !whenTrue {
+		op = negated[op]
+	}
+	l, r := c.L, c.R
+	// Reduce > and >= by swapping operands.
+	switch op {
+	case ">":
+		op, l, r = "<", r, l
+	case ">=":
+		op, l, r = "<=", r, l
+	}
+
+	a, err := g.eval(l)
+	if err != nil {
+		return err
+	}
+	b, err := g.eval(r)
+	if err != nil {
+		return err
+	}
+
+	switch op {
+	case "==", "!=":
+		diff, err := g.allocTemp()
+		if err != nil {
+			return err
+		}
+		if err := g.emitBin("-", diff, a, b); err != nil {
+			return err
+		}
+		g.freeIfTemp(a)
+		g.freeIfTemp(b)
+		defer g.freeTemp(diff)
+		if op == "==" {
+			return g.branchZero(diff, target)
+		}
+		return g.branchNonZero(diff, target)
+	case "<", "<=":
+		// a < b  ⇔ sign(a−b) ≠ 0; a <= b ⇔ sign(b−a) = 0 (signed,
+		// overflow-free — documented kernel-language semantics).
+		x, y := a, b
+		if op == "<=" {
+			x, y = b, a
+		}
+		s, err := g.allocTemp()
+		if err != nil {
+			return err
+		}
+		if err := g.emitBin("-", s, x, y); err != nil {
+			return err
+		}
+		g.freeIfTemp(a)
+		g.freeIfTemp(b)
+		defer g.freeTemp(s)
+		if err := g.maskSign(s); err != nil {
+			return err
+		}
+		if op == "<" {
+			return g.branchNonZero(s, target)
+		}
+		return g.branchZero(s, target)
+	}
+	return g.errf("unknown condition %q", c.Op)
+}
+
+// maskSign replaces r with r & minInt (its sign bit).
+func (g *codegen) maskSign(r int) error {
+	w := g.t.RF.Width
+	minInt := int64(-1) << uint(w-1)
+	if w > 63 {
+		return g.errf("register width %d too wide for relational lowering", w)
+	}
+	if g.emitBinImm("&", r, r, minInt) {
+		return nil
+	}
+	m, err := g.allocTemp()
+	if err != nil {
+		return err
+	}
+	if err := g.emitConst(m, int64(1)<<uint(w-1)); err != nil {
+		return err
+	}
+	if err := g.emitBin("&", r, r, m); err != nil {
+		return err
+	}
+	g.freeTemp(m)
+	return nil
+}
+
+// branchZero branches to target when reg == 0.
+func (g *codegen) branchZero(reg int, target string) error {
+	if b := g.t.branchOf(BrZ); b != nil {
+		g.emitBranch(b, reg, -1, target)
+		return nil
+	}
+	if b := g.t.branchOf(BrEQPair); b != nil {
+		z, err := g.zeroReg()
+		if err != nil {
+			return err
+		}
+		g.emitBranch(b, reg, z, target)
+		g.freeTemp(z)
+		return nil
+	}
+	if b := g.t.branchOf(BrNZ); b != nil {
+		skip := g.newLabel("skip")
+		g.emitBranch(b, reg, -1, skip)
+		g.emitJump(target)
+		g.pushLabel(skip)
+		return nil
+	}
+	return g.errf("machine %s has no branch primitive", g.t.D.Name)
+}
+
+// branchNonZero branches to target when reg != 0.
+func (g *codegen) branchNonZero(reg int, target string) error {
+	if b := g.t.branchOf(BrNZ); b != nil {
+		g.emitBranch(b, reg, -1, target)
+		return nil
+	}
+	skip := g.newLabel("skip")
+	if b := g.t.branchOf(BrZ); b != nil {
+		g.emitBranch(b, reg, -1, skip)
+		g.emitJump(target)
+		g.pushLabel(skip)
+		return nil
+	}
+	if b := g.t.branchOf(BrEQPair); b != nil {
+		z, err := g.zeroReg()
+		if err != nil {
+			return err
+		}
+		g.emitBranch(b, reg, z, skip)
+		g.freeTemp(z)
+		g.emitJump(target)
+		g.pushLabel(skip)
+		return nil
+	}
+	return g.errf("machine %s has no branch primitive", g.t.D.Name)
+}
+
+func (g *codegen) zeroReg() (int, error) {
+	z, err := g.allocTemp()
+	if err != nil {
+		return 0, err
+	}
+	if !g.emitMovImm(z, 0) {
+		return 0, g.errf("cannot materialize zero")
+	}
+	return z, nil
+}
+
+// emitBranch pushes a conditional branch (b2 = -1 for single-register
+// kinds) with a symbolic target.
+func (g *codegen) emitBranch(b *MachBranch, r1, r2 int, target string) {
+	args := make([]decode.Arg, len(b.Op.Params))
+	args[b.A] = tokArg(b.Op.Params[b.A], int64(r1))
+	reads := []string{regName(r1)}
+	if b.B >= 0 {
+		args[b.B] = tokArg(b.Op.Params[b.B], int64(r2))
+		reads = append(reads, regName(r2))
+	}
+	args[b.Target] = decode.Arg{Param: b.Op.Params[b.Target], Value: symbolValue(b.Op.Params[b.Target], target)}
+	g.emits = append(g.emits, emitted{
+		dop: &decode.Op{Op: b.Op, Args: args}, reads: reads, control: true,
+		syms: map[int]string{b.Target: target},
+	})
+}

@@ -1,0 +1,290 @@
+// Package explore implements architecture exploration by iterative
+// improvement (paper §1, Figure 1). Each iteration takes the current
+// candidate ISDL description, generates neighbours by instruction-set-level
+// edits — removing an operation, retiming a functional unit, resizing a
+// memory — recompiles the application with the retargetable compiler,
+// re-evaluates with the generated simulator and hardware model
+// (internal/core), and keeps the best improvement. The loop stops when no
+// neighbour improves the objective.
+//
+// Candidates are materialized as ISDL text (isdl.Format) and re-parsed, so
+// every mutation passes the full semantic validation — exactly the paper's
+// flow, where the architecture synthesis system outputs an ISDL description
+// and every tool is regenerated from it. Changes happen at the granularity
+// of a single operation definition, the fine grain §4.1 argues
+// parameterized-architecture systems cannot reach.
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/isdl"
+)
+
+// Weights define the scalar objective (lower is better).
+type Weights struct {
+	Runtime float64
+	Area    float64
+	Power   float64
+}
+
+// DefaultWeights trade performance against cost the way the paper's
+// embedded targets do: run time first, then silicon, then power.
+func DefaultWeights() Weights { return Weights{Runtime: 1, Area: 0.5, Power: 0.2} }
+
+// Step records one accepted or rejected exploration move.
+type Step struct {
+	Iter     int
+	Action   string
+	Eval     *core.Evaluation
+	Score    float64
+	Accepted bool
+}
+
+// Result is the outcome of an exploration run.
+type Result struct {
+	Initial *core.Evaluation
+	Final   *core.Evaluation
+	// FinalSource is the ISDL text of the winning candidate.
+	FinalSource string
+	Steps       []Step
+}
+
+// Explorer drives the loop.
+type Explorer struct {
+	// Base is the starting ISDL description source.
+	Base string
+	// Kernel is the application in the compiler's kernel language.
+	Kernel string
+	// Weights fold an evaluation into the hill-climbing objective.
+	Weights Weights
+	// Evaluator runs the methodology; nil uses core.NewEvaluator().
+	Evaluator *core.Evaluator
+	// MaxIters bounds the loop (default 16).
+	MaxIters int
+	// Log receives one line per evaluated candidate; nil discards.
+	Log func(string)
+}
+
+func (e *Explorer) logf(format string, args ...interface{}) {
+	if e.Log != nil {
+		e.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+// Run explores from the base description.
+func (e *Explorer) Run() (*Result, error) {
+	ev := e.Evaluator
+	if ev == nil {
+		ev = core.NewEvaluator()
+	}
+	maxIters := e.MaxIters
+	if maxIters <= 0 {
+		maxIters = 16
+	}
+
+	curSrc := e.Base
+	curEval, err := e.evaluate(ev, curSrc)
+	if err != nil {
+		return nil, fmt.Errorf("explore: base candidate: %w", err)
+	}
+	curScore := e.score(curEval)
+	res := &Result{Initial: curEval}
+	e.logf("base: score %.2f (%s)", curScore, oneLine(curEval))
+
+	for iter := 1; iter <= maxIters; iter++ {
+		moves, err := neighbours(curSrc)
+		if err != nil {
+			return nil, err
+		}
+		bestScore := curScore
+		var bestSrc, bestAction string
+		var bestEval *core.Evaluation
+		for _, mv := range moves {
+			cand, err := e.evaluate(ev, mv.src)
+			if err != nil {
+				// Infeasible candidate (e.g. the compiler lost an
+				// operation it needs): skip.
+				e.logf("iter %d: %-28s infeasible: %v", iter, mv.action, err)
+				continue
+			}
+			s := e.score(cand)
+			accepted := s < bestScore
+			res.Steps = append(res.Steps, Step{Iter: iter, Action: mv.action, Eval: cand, Score: s, Accepted: accepted})
+			e.logf("iter %d: %-28s score %.2f (%s)", iter, mv.action, s, oneLine(cand))
+			if accepted {
+				bestScore, bestSrc, bestAction, bestEval = s, mv.src, mv.action, cand
+			}
+		}
+		if bestEval == nil {
+			e.logf("iter %d: no improving move; stopping", iter)
+			break
+		}
+		e.logf("iter %d: ACCEPT %s (score %.2f -> %.2f)", iter, bestAction, curScore, bestScore)
+		curSrc, curScore, curEval = bestSrc, bestScore, bestEval
+	}
+	res.Final = curEval
+	res.FinalSource = curSrc
+	return res, nil
+}
+
+func (e *Explorer) score(ev *core.Evaluation) float64 {
+	return ev.Score(e.Weights.Runtime, e.Weights.Area, e.Weights.Power)
+}
+
+func (e *Explorer) evaluate(ev *core.Evaluator, src string) (*core.Evaluation, error) {
+	d, err := isdl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	asmText, err := compiler.Compile(d, e.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(d, asmText)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Evaluate(d, prog, "kernel")
+}
+
+// move is one candidate mutation.
+type move struct {
+	action string
+	src    string
+}
+
+// neighbours generates the mutation set of a description.
+func neighbours(src string) ([]move, error) {
+	base, err := isdl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []move
+	add := func(action string, mutate func(d *isdl.Description) bool) {
+		d, err := isdl.Parse(src)
+		if err != nil {
+			return
+		}
+		if !mutate(d) {
+			return
+		}
+		text := isdl.Format(d)
+		if _, err := isdl.Parse(text); err != nil {
+			return // mutation produced an invalid description
+		}
+		out = append(out, move{action: action, src: text})
+	}
+
+	// Remove one operation (never a nop: the assembler and scheduler fill
+	// empty VLIW slots with it).
+	for fi := range base.Fields {
+		for oi := range base.Fields[fi].Ops {
+			op := base.Fields[fi].Ops[oi]
+			if op.Name == "nop" || len(base.Fields[fi].Ops) == 1 {
+				continue
+			}
+			name := op.QualName()
+			fi, oi := fi, oi
+			add("remove "+name, func(d *isdl.Description) bool {
+				return removeOp(d, fi, oi)
+			})
+		}
+	}
+
+	// Halve each data memory.
+	for _, st := range base.Storage {
+		if st.Kind == isdl.StDataMemory && st.Depth >= 64 {
+			name := st.Name
+			add(fmt.Sprintf("halve %s depth", name), func(d *isdl.Description) bool {
+				s := d.StorageByName[name]
+				s.Depth /= 2
+				return true
+			})
+		}
+	}
+
+	// Retime multi-cycle operations: one pipeline stage fewer (deeper
+	// cycle) or one more (shorter cycle, more stalls).
+	for fi := range base.Fields {
+		for oi := range base.Fields[fi].Ops {
+			op := base.Fields[fi].Ops[oi]
+			if op.Timing.Latency <= 1 {
+				continue
+			}
+			name := op.QualName()
+			fi, oi := fi, oi
+			add("shorten "+name+" pipeline", func(d *isdl.Description) bool {
+				o := d.Fields[fi].Ops[oi]
+				o.Timing.Latency--
+				if o.Costs.Stall > 0 {
+					o.Costs.Stall--
+				}
+				return true
+			})
+			add("deepen "+name+" pipeline", func(d *isdl.Description) bool {
+				o := d.Fields[fi].Ops[oi]
+				o.Timing.Latency++
+				o.Costs.Stall++
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// removeOp deletes operation oi from field fi, dropping any constraint that
+// mentions it.
+func removeOp(d *isdl.Description, fi, oi int) bool {
+	f := d.Fields[fi]
+	if oi >= len(f.Ops) {
+		return false
+	}
+	op := f.Ops[oi]
+	delete(f.ByName, op.Name)
+	f.Ops = append(f.Ops[:oi], f.Ops[oi+1:]...)
+	kept := d.Constraints[:0]
+	for _, c := range d.Constraints {
+		if !mentionsOp(c.Expr, f.Name, op.Name) {
+			kept = append(kept, c)
+		}
+	}
+	d.Constraints = kept
+	return true
+}
+
+func mentionsOp(e isdl.CExpr, field, op string) bool {
+	switch e := e.(type) {
+	case *isdl.CAtom:
+		return e.Field == field && e.Op == op
+	case *isdl.CNot:
+		return mentionsOp(e.X, field, op)
+	case *isdl.CBin:
+		return mentionsOp(e.X, field, op) || mentionsOp(e.Y, field, op)
+	}
+	return false
+}
+
+func oneLine(e *core.Evaluation) string {
+	return fmt.Sprintf("%d cyc × %.1f ns = %.1f us, %.0f cells, %.1f mW",
+		e.Cycles, e.CycleNs, e.RuntimeUs, e.AreaCells, e.PowerMW)
+}
+
+// Report renders the exploration history.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "initial: %s\n", oneLine(r.Initial))
+	for _, s := range r.Steps {
+		mark := " "
+		if s.Accepted {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s iter %-2d %-30s score %10.2f  %s\n", mark, s.Iter, s.Action, s.Score, oneLine(s.Eval))
+	}
+	fmt.Fprintf(&sb, "final:   %s\n", oneLine(r.Final))
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/isdl"
+	"repro/internal/machines"
+)
+
+// kernel is a small DSP-flavoured workload: vector scale-and-accumulate.
+const kernel = `
+var i, s;
+array a[16] in DM at 0 = { 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3 };
+array b[16] in DM at 64;
+s = 0;
+for i = 0 to 15 {
+  b[i] = a[i] + a[i];
+  s = s + b[i];
+}
+`
+
+func TestExploreSPAM2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	ex := &explore.Explorer{
+		Base:     machines.SPAM2Source,
+		Kernel:   kernel,
+		Weights:  explore.DefaultWeights(),
+		MaxIters: 4,
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Initial == nil || res.Final == nil {
+		t.Fatal("missing evaluations")
+	}
+	w := ex.Weights
+	if res.Final.Score(w.Runtime, w.Area, w.Power) > res.Initial.Score(w.Runtime, w.Area, w.Power) {
+		t.Fatalf("exploration made things worse: %.2f -> %.2f",
+			res.Initial.Score(w.Runtime, w.Area, w.Power), res.Final.Score(w.Runtime, w.Area, w.Power))
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no candidates were evaluated")
+	}
+	// The winning candidate must be a valid, self-contained ISDL text.
+	if _, err := isdl.Parse(res.FinalSource); err != nil {
+		t.Fatalf("final source invalid: %v", err)
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "initial:") || !strings.Contains(rep, "final:") {
+		t.Fatalf("report: %q", rep)
+	}
+	// The kernel never multiplies or compares through cmp, so exploration
+	// should find removable operations and improve the area term.
+	if !(res.Final.AreaCells < res.Initial.AreaCells) {
+		t.Errorf("expected area to shrink: %.0f -> %.0f", res.Initial.AreaCells, res.Final.AreaCells)
+	}
+}
+
+func TestExploreInfeasibleBase(t *testing.T) {
+	ex := &explore.Explorer{
+		Base:   machines.SPAM2Source,
+		Kernel: "var x; x = y;", // undeclared: compile fails
+	}
+	if _, err := ex.Run(); err == nil {
+		t.Fatal("expected error for uncompilable kernel")
+	}
+}
+
+// TestNeighboursPreserveRequiredOps: a move must never produce text that
+// fails to parse (such moves are filtered before evaluation).
+func TestExploreLogging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	var lines []string
+	ex := &explore.Explorer{
+		Base:     machines.SPAM2Source,
+		Kernel:   "var x; x = 1;",
+		MaxIters: 1,
+		Log:      func(s string) { lines = append(lines, s) },
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("expected log lines, got %d", len(lines))
+	}
+}

@@ -1,0 +1,228 @@
+// Package hgen is the HGEN hardware synthesis system of the paper (§4): it
+// compiles an ISDL description into a hardware implementation model —
+// synthesizable Verilog plus die size, cycle length and power estimates
+// against a technology library. It implements the resource-sharing
+// formulation of §4.1.1–4.1.2 (compatibility matrix + maximal cliques,
+// Figure 5), the structural inference of §4.1.3 (pipeline depth and bypass
+// from the Cycle/Stall/Latency costs), and the decode-logic generation of
+// §4.2 (the same signatures that drive the GENSIM disassembler).
+package hgen
+
+import (
+	"fmt"
+
+	"repro/internal/isdl"
+)
+
+// NodeKind classifies an RTL node by the circuit it maps to (§4.1.2: "we
+// break up the RTL expressions for all operation definitions into a number
+// of nodes, each of which can be mapped to a circuit").
+type NodeKind int
+
+const (
+	// NodeAdd and NodeSub map to a carry-propagate adder; per sharing rule
+	// 2 an add is a subset of a subtract, so they share an add/sub unit.
+	NodeAdd NodeKind = iota
+	NodeSub
+	NodeMul
+	NodeDiv
+	// NodeLogic covers bitwise AND/OR/XOR/NOT and boolean reductions.
+	NodeLogic
+	NodeShift
+	NodeCmp
+)
+
+var nodeKindNames = map[NodeKind]string{
+	NodeAdd: "add", NodeSub: "sub", NodeMul: "mul", NodeDiv: "div",
+	NodeLogic: "logic", NodeShift: "shift", NodeCmp: "cmp",
+}
+
+func (k NodeKind) String() string { return nodeKindNames[k] }
+
+// unitClass groups kinds that can share one functional unit (sharing rule
+// 2, with the add⊂sub subsumption).
+func unitClass(k NodeKind) string {
+	switch k {
+	case NodeAdd, NodeSub:
+		return "addsub"
+	default:
+		return k.String()
+	}
+}
+
+// Node is one numbered RTL node.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Width int
+	// Op owns the node; Stmt is the statement ordinal within the owner
+	// (sharing rule 1 forbids sharing within one statement, and nodes of
+	// one operation are all live in the same cycle).
+	Op   *isdl.Operation
+	Stmt int
+	// ParamPath is non-empty for nodes contributed by a non-terminal
+	// option: "param/optionIndex". Nodes from different options of the
+	// same parameter are mutually exclusive and may share.
+	ParamPath string
+	OptionIdx int // -1 when not from an option
+}
+
+func (n *Node) String() string {
+	p := ""
+	if n.ParamPath != "" {
+		p = " " + n.ParamPath
+	}
+	return fmt.Sprintf("n%d %s%d %s%s", n.ID, n.Kind, n.Width, n.Op.QualName(), p)
+}
+
+// extractNodes numbers every circuit-mappable node of every operation
+// (actions, side effects, and the value/side-effect RTL of each reachable
+// non-terminal option).
+func extractNodes(d *isdl.Description) []*Node {
+	var nodes []*Node
+	for _, f := range d.Fields {
+		for _, op := range f.Ops {
+			x := &extractor{nodes: &nodes, op: op, optionIdx: -1}
+			x.stmts(op.Action)
+			x.stmts(op.SideEffect)
+			for _, prm := range op.Params {
+				if prm.NT != nil {
+					extractNTNodes(&nodes, op, prm.Name, prm.NT)
+				}
+			}
+		}
+	}
+	for i, n := range nodes {
+		n.ID = i
+	}
+	return nodes
+}
+
+func extractNTNodes(nodes *[]*Node, op *isdl.Operation, path string, nt *isdl.NonTerminal) {
+	for _, opt := range nt.Options {
+		x := &extractor{
+			nodes:     nodes,
+			op:        op,
+			paramPath: fmt.Sprintf("%s/%d", path, opt.Index),
+			optionIdx: opt.Index,
+		}
+		x.expr(opt.Value)
+		x.stmts(opt.SideEffect)
+		for _, prm := range opt.Params {
+			if prm.NT != nil {
+				extractNTNodes(nodes, op, fmt.Sprintf("%s/%d/%s", path, opt.Index, prm.Name), prm.NT)
+			}
+		}
+	}
+}
+
+type extractor struct {
+	nodes     *[]*Node
+	op        *isdl.Operation
+	stmt      int
+	paramPath string
+	optionIdx int
+}
+
+func (x *extractor) add(kind NodeKind, width int) {
+	*x.nodes = append(*x.nodes, &Node{
+		Kind: kind, Width: width, Op: x.op, Stmt: x.stmt,
+		ParamPath: x.paramPath, OptionIdx: x.optionIdx,
+	})
+}
+
+func (x *extractor) stmts(stmts []isdl.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *isdl.Assign:
+			x.expr(s.RHS)
+			x.expr(s.LHS)
+		case *isdl.If:
+			x.expr(s.Cond)
+			x.stmts(s.Then)
+			x.stmts(s.Else)
+		case *isdl.ExprStmt:
+			x.expr(s.X)
+		}
+		x.stmt++
+	}
+}
+
+func (x *extractor) expr(e isdl.Expr) {
+	isdl.WalkExpr(e, func(e isdl.Expr) {
+		switch e := e.(type) {
+		case *isdl.Binary:
+			w := e.Width()
+			if w == 0 {
+				w = 1
+			}
+			ow := opWidth(e)
+			switch e.Op {
+			case "+":
+				x.add(NodeAdd, ow)
+			case "-":
+				x.add(NodeSub, ow)
+			case "*":
+				x.add(NodeMul, ow)
+			case "/", "%":
+				x.add(NodeDiv, ow)
+			case "&", "|", "^":
+				x.add(NodeLogic, ow)
+			case "<<", ">>":
+				x.add(NodeShift, ow)
+			case "==", "!=", "<", "<=", ">", ">=":
+				x.add(NodeCmp, ow)
+			case "&&", "||":
+				x.add(NodeLogic, 1)
+			}
+		case *isdl.Unary:
+			switch e.Op {
+			case "-":
+				x.add(NodeSub, e.Width())
+			case "~", "!":
+				x.add(NodeLogic, maxInt(e.Width(), 1))
+			}
+		case *isdl.Call:
+			switch e.Fn {
+			case "carry", "addov":
+				x.add(NodeAdd, argWidth(e))
+			case "borrow", "subov":
+				x.add(NodeSub, argWidth(e))
+			case "slt", "sle", "sgt", "sge":
+				x.add(NodeCmp, argWidth(e))
+			case "asr":
+				x.add(NodeShift, argWidth(e))
+			}
+		}
+	})
+}
+
+// opWidth is the operand width of a binary node (comparisons produce one
+// bit but the circuit is sized by its inputs).
+func opWidth(e *isdl.Binary) int {
+	w := e.X.Width()
+	if e.Y.Width() > w {
+		w = e.Y.Width()
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+func argWidth(e *isdl.Call) int {
+	w := 1
+	for _, a := range e.Args {
+		if a.Width() > w {
+			w = a.Width()
+		}
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

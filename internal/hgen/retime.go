@@ -1,0 +1,168 @@
+package hgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isdl"
+	"repro/internal/tech"
+)
+
+// Pipeline optimization — the future work §6.2 names for the HGEN system.
+//
+// RetimeForCycle shortens the clock period of a candidate architecture by
+// deepening the pipelines of the functional units on the critical path:
+// each iteration synthesizes the description, finds the unit whose execute
+// stage sets the cycle, and adds one pipeline stage to every operation that
+// uses it — expressed back in ISDL terms, by incrementing the operation's
+// Latency (and Stall, for operations declared without bypass, preserving
+// the §4.1.3 structural inference). The result is a new, fully re-validated
+// ISDL description plus the edit list; the generated simulator then charges
+// the extra latency as stall cycles only where the program actually has
+// dependent consumers, so run time (cycles × cycle length) typically
+// improves even though some cycle counts rise.
+
+// RetimeChange records one pipeline edit.
+type RetimeChange struct {
+	Op          string // qualified operation name
+	Latency     int    // new latency
+	Stall       int    // new stall cost
+	UnitClass   string
+	UnitWidth   int
+	CycleBefore float64
+	CycleAfter  float64
+}
+
+// RetimeResult is the outcome of RetimeForCycle.
+type RetimeResult struct {
+	// Desc is the retimed description (the input is not modified).
+	Desc *isdl.Description
+	// Source is the retimed description's ISDL text.
+	Source  string
+	Changes []RetimeChange
+	// CycleNs is the achieved cycle length; Met reports whether it meets
+	// the target.
+	CycleNs float64
+	Met     bool
+}
+
+// maxRetimeDepth caps how deep a unit may be pipelined.
+const maxRetimeDepth = 8
+
+// RetimeForCycle retimes the description toward a target cycle length.
+func RetimeForCycle(d *isdl.Description, lib *tech.Library, targetNs float64) (*RetimeResult, error) {
+	if targetNs <= 0 {
+		return nil, fmt.Errorf("hgen: retime target must be positive")
+	}
+	// Work on a private copy so the caller's description is untouched.
+	cur, err := isdl.Parse(isdl.Format(d))
+	if err != nil {
+		return nil, fmt.Errorf("hgen: retime copy: %w", err)
+	}
+	opts := Options{Sharing: ShareRulesAndConstraints, Decode: DecodeTwoLevel}
+	res := &RetimeResult{}
+
+	noProgress := 0
+	for iter := 0; iter < 32; iter++ {
+		r, err := Synthesize(cur, lib, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.CycleNs = r.CycleNs
+		if r.CycleNs <= targetNs {
+			res.Met = true
+			break
+		}
+		u := r.CritUnit
+		if u == nil {
+			break // the cycle is set by decode/storage, not a unit
+		}
+		if u.PipeDepth >= maxRetimeDepth {
+			break
+		}
+		// Deepen every operation mapped onto the critical unit.
+		ops := map[*isdl.Operation]bool{}
+		for _, n := range u.Nodes {
+			ops[n.Op] = true
+		}
+		changed := false
+		for _, f := range cur.Fields {
+			for _, op := range f.Ops {
+				if !sameOpIn(ops, op) {
+					continue
+				}
+				op.Timing.Latency++
+				if op.Costs.Stall > 0 {
+					// Declared without bypass: keep Stall = Latency − 1.
+					op.Costs.Stall = op.Timing.Latency - 1
+				}
+				res.Changes = append(res.Changes, RetimeChange{
+					Op: op.QualName(), Latency: op.Timing.Latency, Stall: op.Costs.Stall,
+					UnitClass: u.Class, UnitWidth: u.Width,
+					CycleBefore: r.CycleNs,
+				})
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Re-materialize and re-validate the mutated candidate, exactly as
+		// the exploration driver does.
+		cur, err = isdl.Parse(isdl.Format(cur))
+		if err != nil {
+			return nil, fmt.Errorf("hgen: retimed description invalid: %w", err)
+		}
+		rAfter, err := Synthesize(cur, lib, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i := range res.Changes {
+			if res.Changes[i].CycleAfter == 0 {
+				res.Changes[i].CycleAfter = rAfter.CycleNs
+			}
+		}
+		if rAfter.CycleNs >= r.CycleNs {
+			// The critical stage may have moved to a sibling unit with the
+			// same delay; allow a couple of mutations to catch up before
+			// concluding retiming cannot help.
+			noProgress++
+			if noProgress >= 3 {
+				res.CycleNs = rAfter.CycleNs
+				break
+			}
+		} else {
+			noProgress = 0
+		}
+		res.CycleNs = rAfter.CycleNs
+		if rAfter.CycleNs <= targetNs {
+			res.Met = true
+			break
+		}
+	}
+	res.Desc = cur
+	res.Source = isdl.Format(cur)
+	return res, nil
+}
+
+// sameOpIn matches operations across the Parse(Format()) copy by qualified
+// name (pointers differ between copies).
+func sameOpIn(ops map[*isdl.Operation]bool, op *isdl.Operation) bool {
+	for o := range ops {
+		if o.QualName() == op.QualName() {
+			return true
+		}
+	}
+	return false
+}
+
+// Report renders the retiming history.
+func (r *RetimeResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "retiming: achieved %.1f ns (target met: %v)\n", r.CycleNs, r.Met)
+	for _, c := range r.Changes {
+		fmt.Fprintf(&sb, "  %-14s -> Latency %d, Stall %d (%s%d unit; cycle %.1f -> %.1f ns)\n",
+			c.Op, c.Latency, c.Stall, c.UnitClass, c.UnitWidth, c.CycleBefore, c.CycleAfter)
+	}
+	return sb.String()
+}

@@ -1,0 +1,219 @@
+package isdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders a description back to ISDL source. The architecture
+// synthesis system of the paper emits ISDL descriptions (§4.1); the
+// exploration driver uses Format to materialize mutated candidates, and
+// Parse(Format(d)) re-validates them from scratch. Format(Parse(Format(d)))
+// is a fixpoint (covered by tests).
+func Format(d *Description) string {
+	var sb strings.Builder
+	if d.Name != "" {
+		fmt.Fprintf(&sb, "Machine %s;\n", d.Name)
+	}
+	fmt.Fprintf(&sb, "Format %d;\n\n", d.WordWidth)
+
+	sb.WriteString("Section Global_Definitions\n\n")
+	for _, name := range sortedKeys(d.Tokens) {
+		formatToken(&sb, d.Tokens[name])
+	}
+	sb.WriteByte('\n')
+	// Non-terminals in dependency-safe (name) order; Parse resolves them
+	// topologically so source order is free.
+	for _, name := range sortedKeysNT(d.NonTerminals) {
+		formatNT(&sb, d.NonTerminals[name])
+	}
+
+	sb.WriteString("Section Storage\n\n")
+	for _, st := range d.Storage {
+		fmt.Fprintf(&sb, "%s %s width %d", st.Kind, st.Name, st.Width)
+		if st.Kind.Addressed() {
+			fmt.Fprintf(&sb, " depth %d", st.Depth)
+		}
+		if st.Base != 0 {
+			fmt.Fprintf(&sb, " base %d", st.Base)
+		}
+		sb.WriteString(";\n")
+	}
+	for _, a := range d.Aliases {
+		fmt.Fprintf(&sb, "Alias %s = %s", a.Name, a.Target)
+		if a.Indexed {
+			fmt.Fprintf(&sb, "[%d]", a.Index)
+		}
+		if a.Sliced {
+			fmt.Fprintf(&sb, "[%d:%d]", a.Hi, a.Lo)
+		}
+		sb.WriteString(";\n")
+	}
+
+	sb.WriteString("\nSection Instruction_Set\n")
+	for _, f := range d.Fields {
+		fmt.Fprintf(&sb, "\nField %s:\n", f.Name)
+		for _, op := range f.Ops {
+			formatOp(&sb, op)
+		}
+	}
+
+	if len(d.Constraints) > 0 {
+		sb.WriteString("\nSection Constraints\n\n")
+		for _, c := range d.Constraints {
+			fmt.Fprintf(&sb, "constraint %s;\n", c.Text)
+		}
+	}
+
+	if len(d.Info) > 0 {
+		sb.WriteString("\nSection Architectural_Information\n\n")
+		for _, k := range sortedKeysStr(d.Info) {
+			v := d.Info[k]
+			if strings.ContainsAny(v, " \t") || v == "" {
+				fmt.Fprintf(&sb, "%s = \"%s\";\n", k, v)
+			} else {
+				fmt.Fprintf(&sb, "%s = %s;\n", k, v)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]*Token) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysNT(m map[string]*NonTerminal) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysStr(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func formatToken(sb *strings.Builder, t *Token) {
+	switch t.Kind {
+	case TokRegSet:
+		fmt.Fprintf(sb, "Token %s \"%s\" [%d..%d];\n", t.Name, t.Prefix, t.Lo, t.Hi)
+	case TokEnum:
+		fmt.Fprintf(sb, "Token %s enum { ", t.Name)
+		for i := range t.EnumNames {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "\"%s\" = %d", t.EnumNames[i], t.EnumValues[i])
+		}
+		sb.WriteString(" };\n")
+	case TokImm:
+		sign := "unsigned"
+		if t.Signed {
+			sign = "signed"
+		}
+		fmt.Fprintf(sb, "Token %s imm %s %d;\n", t.Name, sign, t.RetWidth)
+	}
+}
+
+func formatNT(sb *strings.Builder, nt *NonTerminal) {
+	fmt.Fprintf(sb, "Non_Terminal %s width %d :\n", nt.Name, nt.RetWidth)
+	for _, opt := range nt.Options {
+		sb.WriteString("  option")
+		formatSyntax(sb, opt.Syntax, opt.Params)
+		sb.WriteByte('\n')
+		formatEncode(sb, "R", opt.Encode, opt.Params)
+		fmt.Fprintf(sb, "    Value { %s }\n", opt.Value)
+		formatStmts(sb, "SideEffect", opt.SideEffect)
+		formatCosts(sb, opt.Costs, opt.Timing, true)
+	}
+	sb.WriteString(";\n\n")
+}
+
+func formatOp(sb *strings.Builder, op *Operation) {
+	fmt.Fprintf(sb, "  op %s", op.Name)
+	formatSyntax(sb, op.Syntax, op.Params)
+	sb.WriteByte('\n')
+	formatEncode(sb, "I", op.Encode, op.Params)
+	formatStmts(sb, "Action", op.Action)
+	formatStmts(sb, "SideEffect", op.SideEffect)
+	formatCosts(sb, op.Costs, op.Timing, false)
+}
+
+func formatSyntax(sb *strings.Builder, syn []SynElem, params []*Param) {
+	for _, el := range syn {
+		if el.Lit != "" {
+			if el.Lit == "," {
+				sb.WriteString(" ,")
+			} else {
+				fmt.Fprintf(sb, " \"%s\"", el.Lit)
+			}
+			continue
+		}
+		p := params[el.Param]
+		fmt.Fprintf(sb, " (%s: %s)", p.Name, p.TypeName)
+	}
+}
+
+func formatEncode(sb *strings.Builder, dst string, encode []*BitAssign, params []*Param) {
+	if len(encode) == 0 {
+		return
+	}
+	sb.WriteString("    Encode { ")
+	for _, ba := range encode {
+		if ba.Hi == ba.Lo {
+			fmt.Fprintf(sb, "%s[%d] = ", dst, ba.Hi)
+		} else {
+			fmt.Fprintf(sb, "%s[%d:%d] = ", dst, ba.Hi, ba.Lo)
+		}
+		if ba.ConstSet {
+			fmt.Fprintf(sb, "0b%s; ", ba.Const.BitString())
+		} else {
+			sb.WriteString(params[ba.Param].Name)
+			if ba.PHi >= 0 {
+				fmt.Fprintf(sb, "[%d:%d]", ba.PHi, ba.PLo)
+			}
+			sb.WriteString("; ")
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+func formatStmts(sb *strings.Builder, part string, stmts []Stmt) {
+	if len(stmts) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "    %s { ", part)
+	for _, s := range stmts {
+		sb.WriteString(s.String())
+		sb.WriteByte(' ')
+	}
+	sb.WriteString("}\n")
+}
+
+func formatCosts(sb *strings.Builder, c Costs, t Timing, isOption bool) {
+	if isOption {
+		if c != (Costs{}) {
+			fmt.Fprintf(sb, "    Cost { Cycle = %d; Stall = %d; Size = %d; }\n", c.Cycle, c.Stall, c.Size)
+		}
+		if t != (Timing{}) {
+			fmt.Fprintf(sb, "    Timing { Latency = %d; Usage = %d; }\n", t.Latency, t.Usage)
+		}
+		return
+	}
+	fmt.Fprintf(sb, "    Cost { Cycle = %d; Stall = %d; Size = %d; }\n", c.Cycle, c.Stall, c.Size)
+	fmt.Fprintf(sb, "    Timing { Latency = %d; Usage = %d; }\n", t.Latency, t.Usage)
+}

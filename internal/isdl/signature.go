@@ -1,0 +1,139 @@
+package isdl
+
+import (
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// This file implements operation signatures (paper §3.3.2, Figure 3): an
+// image of the instruction word with a symbol per bit. Signatures drive the
+// disassembler (Figure 4) and the hardware decode logic (§4.2). They are
+// built during semantic analysis directly from the bitfield assignments, so
+// Axiom 1 — each parameter symbol is a function of a single parameter — holds
+// by construction: the grammar only admits "bits = constant" and
+// "bits = (slice of) one parameter".
+
+// SigBitKind classifies one signature bit.
+type SigBitKind uint8
+
+const (
+	// SigDontCare: the assembly function does not set this bit.
+	SigDontCare SigBitKind = iota
+	// SigConst: the bit is a constant 0 or 1.
+	SigConst
+	// SigParam: the bit equals bit PBit of parameter Param's return value.
+	SigParam
+)
+
+// SigBit is one bit of a signature.
+type SigBit struct {
+	Kind  SigBitKind
+	Const uint8 // 0 or 1 when Kind == SigConst
+	Param int   // parameter index when Kind == SigParam
+	PBit  int   // bit of the parameter's return value
+}
+
+// Signature is the per-operation (or per-option) image of the instruction
+// word (or non-terminal return value).
+type Signature struct {
+	Bits []SigBit
+}
+
+// buildSignature constructs the signature of an operation or option from its
+// bitfield assignments. width is the full destination width (instruction
+// words × word width, or the non-terminal's return width).
+func buildSignature(width int, encode []*BitAssign) Signature {
+	sig := Signature{Bits: make([]SigBit, width)}
+	for _, ba := range encode {
+		for k := 0; k <= ba.Hi-ba.Lo; k++ {
+			bit := ba.Lo + k
+			if ba.ConstSet {
+				sig.Bits[bit] = SigBit{Kind: SigConst, Const: uint8(ba.Const.Bit(k))}
+			} else {
+				plo := ba.PLo
+				if ba.PHi < 0 {
+					plo = 0
+				}
+				sig.Bits[bit] = SigBit{Kind: SigParam, Param: ba.Param, PBit: plo + k}
+			}
+		}
+	}
+	return sig
+}
+
+// Match reports whether the constant part of the signature matches word.
+// Per the paper, the match over constants is unique within a field for a
+// decodeable assembly function.
+func (s *Signature) Match(word bitvec.Value) bool {
+	for i, b := range s.Bits {
+		if b.Kind == SigConst && uint8(word.Bit(i)) != b.Const {
+			return false
+		}
+	}
+	return true
+}
+
+// Extract reverses the encoding of parameter param: it gathers the
+// instruction-word bits that encode the parameter back into a retWidth-bit
+// return value. Bits of the parameter that are not encoded anywhere read as
+// zero (semantic analysis guarantees full coverage, so this only happens for
+// hand-built signatures in tests).
+func (s *Signature) Extract(param, retWidth int, word bitvec.Value) bitvec.Value {
+	v := bitvec.New(retWidth)
+	for i, b := range s.Bits {
+		if b.Kind == SigParam && b.Param == param && b.PBit < retWidth {
+			v = v.WithBit(b.PBit, word.Bit(i))
+		}
+	}
+	return v
+}
+
+// ConflictsWith reports whether some bit position is constant in both
+// signatures with different values — the condition that makes two operations
+// of one field distinguishable.
+func (s *Signature) ConflictsWith(o *Signature) bool {
+	n := len(s.Bits)
+	if len(o.Bits) < n {
+		n = len(o.Bits)
+	}
+	for i := 0; i < n; i++ {
+		if s.Bits[i].Kind == SigConst && o.Bits[i].Kind == SigConst && s.Bits[i].Const != o.Bits[i].Const {
+			return true
+		}
+	}
+	return false
+}
+
+// ConstMask returns the positions and values of the constant bits, for the
+// decode-logic generator: mask has 1s where the signature is constant, and
+// val holds the constant values at those positions.
+func (s *Signature) ConstMask() (mask, val bitvec.Value) {
+	mask = bitvec.New(len(s.Bits))
+	val = bitvec.New(len(s.Bits))
+	for i, b := range s.Bits {
+		if b.Kind == SigConst {
+			mask = mask.WithBit(i, 1)
+			val = val.WithBit(i, uint(b.Const))
+		}
+	}
+	return mask, val
+}
+
+// String renders the signature MSB-first with 'x' for don't care, '0'/'1'
+// for constants and 'a','b',… for parameters — the notation of Figure 3.
+func (s *Signature) String() string {
+	var sb strings.Builder
+	for i := len(s.Bits) - 1; i >= 0; i-- {
+		b := s.Bits[i]
+		switch b.Kind {
+		case SigDontCare:
+			sb.WriteByte('x')
+		case SigConst:
+			sb.WriteByte('0' + b.Const)
+		case SigParam:
+			sb.WriteByte('a' + byte(b.Param%26))
+		}
+	}
+	return sb.String()
+}

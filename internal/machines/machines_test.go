@@ -1,0 +1,129 @@
+package machines_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machines"
+)
+
+func TestToyParses(t *testing.T) {
+	d := machines.Toy()
+	if d.Name != "toy" || len(d.Fields) != 1 {
+		t.Fatalf("toy: %s, %d fields", d.Name, len(d.Fields))
+	}
+}
+
+func TestSPAMParses(t *testing.T) {
+	d := machines.SPAM()
+	if d.Name != "spam" {
+		t.Fatalf("name %q", d.Name)
+	}
+	// 4 operation fields + 3 parallel move fields, as the paper states.
+	if len(d.Fields) != 7 { // ALU MAC BR ALU2 MV1 MV2 MV3
+		t.Fatalf("fields: %d, want 7", len(d.Fields))
+	}
+	if d.WordWidth != 96 {
+		t.Fatalf("width: %d", d.WordWidth)
+	}
+	if len(d.Constraints) != 5 {
+		t.Fatalf("constraints: %d", len(d.Constraints))
+	}
+	mul := d.FieldByName("MAC").ByName["mul"]
+	if mul.Costs.Stall != 2 || mul.Timing.Latency != 3 {
+		t.Fatalf("mul timing: %+v %+v", mul.Costs, mul.Timing)
+	}
+}
+
+func TestSPAM2Parses(t *testing.T) {
+	d := machines.SPAM2()
+	if d.Name != "spam2" || len(d.Fields) != 3 || d.WordWidth != 48 {
+		t.Fatalf("spam2: %s, %d fields, %d bits", d.Name, len(d.Fields), d.WordWidth)
+	}
+}
+
+// TestSPAMSmallerThanSPAM2 pins the relative complexity the Table 2 shape
+// depends on.
+func TestSPAMBiggerThanSPAM2(t *testing.T) {
+	spam, spam2 := machines.SPAM(), machines.SPAM2()
+	nSpam, nSpam2 := 0, 0
+	for _, f := range spam.Fields {
+		nSpam += len(f.Ops)
+	}
+	for _, f := range spam2.Fields {
+		nSpam2 += len(f.Ops)
+	}
+	if nSpam <= nSpam2 {
+		t.Fatalf("SPAM (%d ops) should be larger than SPAM2 (%d ops)", nSpam, nSpam2)
+	}
+}
+
+func TestRISC32Parses(t *testing.T) {
+	d := machines.RISC32()
+	if d.Name != "risc32" || len(d.Fields) != 1 || d.WordWidth != 32 {
+		t.Fatalf("risc32: %s, %d fields, %d bits", d.Name, len(d.Fields), d.WordWidth)
+	}
+	if d.StorageByName["RF"].Depth != 32 {
+		t.Fatal("register file should have 32 entries")
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	// FIR reference model basics.
+	samples, coefs := machines.FIRTestVectors(4, 2)
+	if len(samples) != 6 || len(coefs) != 4 {
+		t.Fatalf("vector sizes: %d %d", len(samples), len(coefs))
+	}
+	want0 := uint32(samples[0]*coefs[0] + samples[1]*coefs[1] + samples[2]*coefs[2] + samples[3]*coefs[3])
+	if got := machines.FIRReference(4, 2, samples, coefs)[0]; got != want0 {
+		t.Fatalf("FIRReference[0] = %d, want %d", got, want0)
+	}
+
+	// Dot product reference.
+	x := []int64{2, 3}
+	y := []int64{4, 5}
+	if got := machines.DotReference(2, x, y); got != 23 {
+		t.Fatalf("DotReference = %d", got)
+	}
+
+	// VecAdd reference with 16-bit wrap.
+	a := []int64{65535, 1}
+	b := []int64{2, 2}
+	c, sum := machines.VecAddReference(2, a, b)
+	if c[0] != 1 || c[1] != 3 || sum != 4 {
+		t.Fatalf("VecAddReference = %v, %d", c, sum)
+	}
+
+	// Generator guards.
+	for name, f := range map[string]func(){
+		"fir short samples": func() { machines.FIRSPAM(8, 8, make([]int64, 4), make([]int64, 8)) },
+		"vec too long":      func() { machines.VecAddSPAM2(200, make([]int64, 200), make([]int64, 200)) },
+		"dot short":         func() { machines.DotSPAM(4, make([]int64, 2), make([]int64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestWorkloadSourcesAssemble keeps every generator's output assemblable.
+func TestWorkloadSourcesAssemble(t *testing.T) {
+	spam := machines.SPAM()
+	spam2 := machines.SPAM2()
+	s, c := machines.FIRTestVectors(8, 8)
+	if _, err := asm.Assemble(spam, machines.FIRSPAM(8, 8, s, c)); err != nil {
+		t.Fatal(err)
+	}
+	x, y := machines.VecTestVectors(8)
+	if _, err := asm.Assemble(spam, machines.DotSPAM(8, x, y)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Assemble(spam2, machines.VecAddSPAM2(8, x, y)); err != nil {
+		t.Fatal(err)
+	}
+}

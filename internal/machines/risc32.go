@@ -1,0 +1,112 @@
+package machines
+
+import "repro/internal/isdl"
+
+// RISC32Source is a single-issue 32-bit load/store RISC, included alongside
+// the paper's two VLIWs to demonstrate the breadth ISDL targets (§2: "ISDL
+// attempts to cover a wide range of architectures"): a large register file,
+// register+offset addressing, compare-into-register, and a link-register
+// call — a very different shape from the DSP-style SPAM machines, consumed
+// by the same generated tools without modification.
+const RISC32Source = `
+Machine risc32;
+Format 32;
+
+Section Global_Definitions
+
+Token GPR "R" [0..31];
+Token IMM16 imm signed 16;
+Token OFF imm signed 10;
+Token TGT imm unsigned 10;
+
+Section Storage
+
+InstructionMemory IMEM width 32 depth 1024;
+DataMemory DMEM width 32 depth 1024;
+RegFile RF width 32 depth 32;
+ControlRegister HLT width 1;
+ProgramCounter PC width 10;
+
+Section Instruction_Set
+
+Field EX:
+  op add (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000000; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] + RF[b]; }
+  op sub (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000001; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] - RF[b]; }
+  op and (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000010; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] & RF[b]; }
+  op or (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000011; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] | RF[b]; }
+  op xor (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000100; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] ^ RF[b]; }
+  op sll (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000101; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] << (RF[b] & 31); }
+  op srl (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000110; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- RF[a] >> (RF[b] & 31); }
+  op sra (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b000111; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- asr(RF[a], RF[b] & 31); }
+  op slt (d: GPR) "," (a: GPR) "," (b: GPR)
+    Encode { I[31:26] = 0b001000; I[25:21] = d; I[20:16] = a; I[15:11] = b; }
+    Action { RF[d] <- zext(slt(RF[a], RF[b]), 32); }
+  op addi (d: GPR) "," (a: GPR) "," (i: IMM16)
+    Encode { I[31:26] = 0b001001; I[25:21] = d; I[20:16] = a; I[15:0] = i; }
+    Action { RF[d] <- RF[a] + sext(i, 32); }
+  op lui (d: GPR) "," (i: IMM16)
+    Encode { I[31:26] = 0b001010; I[25:21] = d; I[15:0] = i; }
+    Action { RF[d] <- concat(i, 0x0000); }
+  op li (d: GPR) "," (i: IMM16)
+    Encode { I[31:26] = 0b001011; I[25:21] = d; I[15:0] = i; }
+    Action { RF[d] <- sext(i, 32); }
+  op lw (d: GPR) "," (o: OFF) "(" (a: GPR) ")"
+    Encode { I[31:26] = 0b001100; I[25:21] = d; I[20:16] = a; I[9:0] = o; }
+    Action { RF[d] <- DMEM[RF[a] + sext(o, 32)]; }
+    Cost { Cycle = 1; Stall = 1; }
+    Timing { Latency = 2; Usage = 1; }
+  op sw (v: GPR) "," (o: OFF) "(" (a: GPR) ")"
+    Encode { I[31:26] = 0b001101; I[25:21] = v; I[20:16] = a; I[9:0] = o; }
+    Action { DMEM[RF[a] + sext(o, 32)] <- RF[v]; }
+  op beq (a: GPR) "," (b: GPR) "," (t: TGT)
+    Encode { I[31:26] = 0b001110; I[25:21] = a; I[20:16] = b; I[9:0] = t; }
+    Action { if (RF[a] == RF[b]) { PC <- t; } }
+  op bne (a: GPR) "," (b: GPR) "," (t: TGT)
+    Encode { I[31:26] = 0b001111; I[25:21] = a; I[20:16] = b; I[9:0] = t; }
+    Action { if (RF[a] != RF[b]) { PC <- t; } }
+  op j (t: TGT)
+    Encode { I[31:26] = 0b010000; I[9:0] = t; }
+    Action { PC <- t; }
+  op jal (t: TGT)
+    Encode { I[31:26] = 0b010001; I[9:0] = t; }
+    Action { RF[31] <- zext(PC, 32); PC <- t; }
+  op jr (a: GPR)
+    Encode { I[31:26] = 0b010010; I[20:16] = a; }
+    Action { PC <- trunc(RF[a], 10); }
+  op halt
+    Encode { I[31:26] = 0b111110; }
+    Action { HLT <- 0b1; }
+  op nop
+    Encode { I[31:26] = 0b111111; }
+
+Section Architectural_Information
+
+issue_width = 1;
+description = "single-issue 32-bit load/store RISC";
+`
+
+// RISC32 parses RISC32Source; panics on error (compiled-in constant,
+// covered by tests).
+func RISC32() *isdl.Description {
+	d, err := isdl.Parse(RISC32Source)
+	if err != nil {
+		panic("machines: RISC32 description invalid: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,367 @@
+package machines
+
+import "repro/internal/isdl"
+
+// SPAMSource is our reconstruction of the SPAM processor the paper
+// evaluates (§6): a 4-way VLIW that "can do 4 operations and 3 parallel
+// moves at the same time". The original ISDL description is unpublished;
+// this one matches the stated shape: four operation fields (two ALU-class
+// units, a multiply-accumulate unit, and a branch unit) plus three parallel
+// move fields over two data memories with post-increment address-register
+// addressing. The paper's floating-point datapath is modeled as fixed-point
+// of the same width (see DESIGN.md substitutions): identical field
+// structure, port pressure and unit mix, without an IEEE-754 substrate that
+// ISDL's RTL never exposes.
+//
+// The constraints express write-port and bus conflicts (accumulator stores
+// use the ALU write port; the two store buses are shared), which is exactly
+// the structural information §4.1.1 mines for resource sharing.
+const SPAMSource = `
+Machine spam;
+Format 96;
+
+Section Global_Definitions
+
+Token GPR "R" [0..15];
+Token AR  "A" [0..7];
+Token IMM8 imm signed 8;
+Token UIMM12 imm unsigned 12;
+
+// Register-or-immediate ALU operand.
+Non_Terminal ALUSRC width 9 :
+  option (r: GPR)
+    Encode { R[8] = 0b0; R[7:4] = 0b0000; R[3:0] = r; }
+    Value { RF[r] }
+  option "#" (i: IMM8)
+    Encode { R[8] = 0b1; R[7:0] = i; }
+    Value { sext(i, 32) }
+;
+
+// X-memory operand with optional post-increment.
+Non_Terminal MEMX width 4 :
+  option "@" (a: AR)
+    Encode { R[3] = 0b0; R[2:0] = a; }
+    Value { DMX[AR[a]] }
+  option "@" (a: AR) "+"
+    Encode { R[3] = 0b1; R[2:0] = a; }
+    Value { DMX[AR[a]] }
+    SideEffect { AR[a] <- AR[a] + 1; }
+;
+
+// Y-memory operand with optional post-increment.
+Non_Terminal MEMY width 4 :
+  option "@" (a: AR)
+    Encode { R[3] = 0b0; R[2:0] = a; }
+    Value { DMY[AR[a]] }
+  option "@" (a: AR) "+"
+    Encode { R[3] = 0b1; R[2:0] = a; }
+    Value { DMY[AR[a]] }
+    SideEffect { AR[a] <- AR[a] + 1; }
+;
+
+Section Storage
+
+InstructionMemory IMEM width 96 depth 1024;
+DataMemory DMX width 32 depth 1024;
+DataMemory DMY width 32 depth 1024;
+RegFile RF width 32 depth 16;
+RegFile AR width 16 depth 8;
+Register ACC width 64;
+Register LR width 12;
+ControlRegister SR width 4;
+ControlRegister HLT width 1;
+ProgramCounter PC width 12;
+Alias ACCHI = ACC[63:32];
+Alias ACCLO = ACC[31:0];
+
+Section Instruction_Set
+
+// Primary ALU: bits [95:75].
+Field ALU:
+  op add (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x0; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] + s; }
+    SideEffect { SR[2:2] <- carry(RF[a], s); }
+  op sub (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x1; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] - s; }
+    SideEffect { SR[3:3] <- borrow(RF[a], s); }
+  op and (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x2; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] & s; }
+  op or (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x3; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] | s; }
+  op xor (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x4; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] ^ s; }
+  op shl (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x5; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] << s; }
+  op shr (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x6; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- RF[a] >> s; }
+  op asr (d: GPR) "," (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x7; I[91:88] = d; I[87:84] = a; I[83:75] = s; }
+    Action { RF[d] <- asr(RF[a], s); }
+  op mvi (d: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x8; I[91:88] = d; I[83:75] = s; }
+    Action { RF[d] <- s; }
+  op cmp (a: GPR) "," (s: ALUSRC)
+    Encode { I[95:92] = 0x9; I[87:84] = a; I[83:75] = s; }
+    Action { SR[0:0] <- RF[a] == s; SR[1:1] <- slt(RF[a], s); }
+  op nop
+    Encode { I[95:92] = 0xf; }
+
+// Multiply-accumulate unit: bits [74:60]. The multiplier is pipelined:
+// Cycle 1, Stall 2, Latency 3 (§4.1.3 infers a 3-stage datapath without
+// bypass for it).
+Field MAC:
+  op mul (a: GPR) "," (b: GPR)
+    Encode { I[74:72] = 0b000; I[71:68] = a; I[67:64] = b; }
+    Action { ACC <- zext(RF[a], 64) * zext(RF[b], 64); }
+    Cost { Cycle = 1; Stall = 2; Size = 1; }
+    Timing { Latency = 3; Usage = 1; }
+  op mac (a: GPR) "," (b: GPR)
+    Encode { I[74:72] = 0b001; I[71:68] = a; I[67:64] = b; }
+    Action { ACC <- ACC + zext(RF[a], 64) * zext(RF[b], 64); }
+    Cost { Cycle = 1; Stall = 2; Size = 1; }
+    Timing { Latency = 3; Usage = 1; }
+  op clr
+    Encode { I[74:72] = 0b010; }
+    Action { ACC <- 0; }
+  op sachi (d: GPR)
+    Encode { I[74:72] = 0b011; I[63:60] = d; }
+    Action { RF[d] <- ACCHI; }
+  op saclo (d: GPR)
+    Encode { I[74:72] = 0b100; I[63:60] = d; }
+    Action { RF[d] <- ACCLO; }
+  op nop
+    Encode { I[74:72] = 0b111; }
+
+// Branch unit: bits [59:41].
+Field BR:
+  op beqz (r: GPR) "," (t: UIMM12)
+    Encode { I[59:57] = 0b000; I[56:53] = r; I[52:41] = t; }
+    Action { if (RF[r] == 0) { PC <- t; } }
+  op bnez (r: GPR) "," (t: UIMM12)
+    Encode { I[59:57] = 0b001; I[56:53] = r; I[52:41] = t; }
+    Action { if (RF[r] != 0) { PC <- t; } }
+  op jmp (t: UIMM12)
+    Encode { I[59:57] = 0b010; I[52:41] = t; }
+    Action { PC <- t; }
+  op call (t: UIMM12)
+    Encode { I[59:57] = 0b011; I[52:41] = t; }
+    Action { LR <- PC; PC <- t; }
+  op ret
+    Encode { I[59:57] = 0b100; }
+    Action { PC <- LR; }
+  op djnz (r: GPR) "," (t: UIMM12)
+    Encode { I[59:57] = 0b101; I[56:53] = r; I[52:41] = t; }
+    Action { RF[r] <- RF[r] - 1; if (RF[r] != 1) { PC <- t; } }
+  op halt
+    Encode { I[59:57] = 0b110; }
+    Action { HLT <- 0b1; }
+  op nop
+    Encode { I[59:57] = 0b111; }
+
+// Move field 1: X-memory loads and stores, bits [40:31]. Loads have a
+// one-cycle load-use penalty (Latency 2, Stall 1).
+Field MV1:
+  op ldx (d: GPR) "," (m: MEMX)
+    Encode { I[40:39] = 0b00; I[38:35] = d; I[34:31] = m; }
+    Action { RF[d] <- m; }
+    Cost { Cycle = 1; Stall = 1; Size = 1; }
+    Timing { Latency = 2; Usage = 1; }
+  op stx (m: MEMX) "," (v: GPR)
+    Encode { I[40:39] = 0b01; I[38:35] = v; I[34:31] = m; }
+    Action { m <- RF[v]; }
+  op nop
+    Encode { I[40:39] = 0b11; }
+
+// Move field 2: Y-memory loads and stores, bits [30:21].
+Field MV2:
+  op ldy (d: GPR) "," (m: MEMY)
+    Encode { I[30:29] = 0b00; I[28:25] = d; I[24:21] = m; }
+    Action { RF[d] <- m; }
+    Cost { Cycle = 1; Stall = 1; Size = 1; }
+    Timing { Latency = 2; Usage = 1; }
+  op sty (m: MEMY) "," (v: GPR)
+    Encode { I[30:29] = 0b01; I[28:25] = v; I[24:21] = m; }
+    Action { m <- RF[v]; }
+  op nop
+    Encode { I[30:29] = 0b11; }
+
+// Move field 3: register-to-register traffic, bits [20:11].
+Field MV3:
+  op mvr (d: GPR) "," (s: GPR)
+    Encode { I[20:19] = 0b00; I[18:15] = d; I[14:11] = s; }
+    Action { RF[d] <- RF[s]; }
+  op mvar (a: AR) "," (s: GPR)
+    Encode { I[20:19] = 0b01; I[17:15] = a; I[14:11] = s; }
+    Action { AR[a] <- RF[s][15:0]; }
+  op mvra (d: GPR) "," (a: AR)
+    Encode { I[20:19] = 0b10; I[18:15] = d; I[13:11] = a; }
+    Action { RF[d] <- zext(AR[a], 32); }
+  op nop
+    Encode { I[20:19] = 0b11; }
+
+// Secondary ALU (two-operand, destructive): bits [10:0]. Together with
+// ALU, MAC and BR this makes the four operation units of the paper's
+// "4 operations and 3 parallel moves".
+Field ALU2:
+  op add2 (d: GPR) "," (a: GPR)
+    Encode { I[10:9] = 0b00; I[8:5] = d; I[4:1] = a; }
+    Action { RF[d] <- RF[d] + RF[a]; }
+  op sub2 (d: GPR) "," (a: GPR)
+    Encode { I[10:9] = 0b01; I[8:5] = d; I[4:1] = a; }
+    Action { RF[d] <- RF[d] - RF[a]; }
+  op neg2 (d: GPR)
+    Encode { I[10:9] = 0b10; I[8:5] = d; }
+    Action { RF[d] <- -RF[d]; }
+  op nop
+    Encode { I[10:9] = 0b11; }
+
+Section Constraints
+
+// Accumulator stores use the ALU's register-file write port.
+constraint MAC.sachi -> ALU.nop;
+constraint MAC.saclo -> ALU.nop;
+// The two store buses are shared: at most one store per instruction.
+never MV1.stx & MV2.sty;
+// The branch unit's link-register path shares the MV3 write bus.
+constraint BR.call -> MV3.nop;
+// djnz borrows the primary ALU's subtracter — the paper's §4.1.1 pattern
+// where a constraint is what makes a cross-field resource share legal.
+constraint BR.djnz -> ALU.nop;
+
+Section Architectural_Information
+
+issue_width = 7;
+description = "4-way fixed-point VLIW with 3 parallel moves (SPAM reconstruction)";
+`
+
+// SPAM2Source reconstructs SPAM2, "a simpler 3-way VLIW architecture with a
+// limited number of operations" (§6): one ALU field, one branch field and a
+// single move field over one data memory.
+const SPAM2Source = `
+Machine spam2;
+Format 48;
+
+Section Global_Definitions
+
+Token GPR "R" [0..7];
+Token AR  "A" [0..3];
+Token IMM8 imm signed 8;
+Token UIMM10 imm unsigned 10;
+
+Non_Terminal SRC width 9 :
+  option (r: GPR)
+    Encode { R[8] = 0b0; R[7:3] = 0b00000; R[2:0] = r; }
+    Value { RF[r] }
+  option "#" (i: IMM8)
+    Encode { R[8] = 0b1; R[7:0] = i; }
+    Value { sext(i, 16) }
+;
+
+Non_Terminal MEM width 3 :
+  option "@" (a: AR)
+    Encode { R[2] = 0b0; R[1:0] = a; }
+    Value { DM[AR[a]] }
+  option "@" (a: AR) "+"
+    Encode { R[2] = 0b1; R[1:0] = a; }
+    Value { DM[AR[a]] }
+    SideEffect { AR[a] <- AR[a] + 1; }
+;
+
+Section Storage
+
+InstructionMemory IMEM width 48 depth 1024;
+DataMemory DM width 16 depth 512;
+RegFile RF width 16 depth 8;
+RegFile AR width 10 depth 4;
+ControlRegister SR width 2;
+ControlRegister HLT width 1;
+ProgramCounter PC width 10;
+
+Section Instruction_Set
+
+// ALU: bits [47:30].
+Field ALU:
+  op add (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[47:45] = 0b000; I[44:42] = d; I[41:39] = a; I[38:30] = s; }
+    Action { RF[d] <- RF[a] + s; }
+  op sub (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[47:45] = 0b001; I[44:42] = d; I[41:39] = a; I[38:30] = s; }
+    Action { RF[d] <- RF[a] - s; }
+  op and (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[47:45] = 0b010; I[44:42] = d; I[41:39] = a; I[38:30] = s; }
+    Action { RF[d] <- RF[a] & s; }
+  op mvi (d: GPR) "," (s: SRC)
+    Encode { I[47:45] = 0b011; I[44:42] = d; I[38:30] = s; }
+    Action { RF[d] <- s; }
+  op cmp (a: GPR) "," (s: SRC)
+    Encode { I[47:45] = 0b100; I[41:39] = a; I[38:30] = s; }
+    Action { SR[0:0] <- RF[a] == s; SR[1:1] <- slt(RF[a], s); }
+  op nop
+    Encode { I[47:45] = 0b111; }
+
+// Branch unit: bits [29:15].
+Field BR:
+  op beqz (r: GPR) "," (t: UIMM10)
+    Encode { I[29:28] = 0b00; I[27:25] = r; I[24:15] = t; }
+    Action { if (RF[r] == 0) { PC <- t; } }
+  op jmp (t: UIMM10)
+    Encode { I[29:28] = 0b01; I[24:15] = t; }
+    Action { PC <- t; }
+  op halt
+    Encode { I[29:28] = 0b10; }
+    Action { HLT <- 0b1; }
+  op nop
+    Encode { I[29:28] = 0b11; }
+
+// Single move field: bits [14:4].
+Field MV:
+  op ld (d: GPR) "," (m: MEM)
+    Encode { I[14:13] = 0b00; I[12:10] = d; I[9:7] = m; }
+    Action { RF[d] <- m; }
+    Cost { Cycle = 1; Stall = 1; Size = 1; }
+    Timing { Latency = 2; Usage = 1; }
+  op st (m: MEM) "," (v: GPR)
+    Encode { I[14:13] = 0b01; I[12:10] = v; I[9:7] = m; }
+    Action { m <- RF[v]; }
+  op mvar (a: AR) "," (s: GPR)
+    Encode { I[14:13] = 0b10; I[6:5] = a; I[12:10] = s; }
+    Action { AR[a] <- zext(RF[s], 10); }
+  op nop
+    Encode { I[14:13] = 0b11; }
+
+Section Constraints
+
+// A load and a taken branch share the memory/PC address bus.
+constraint MV.ld -> BR.nop;
+
+Section Architectural_Information
+
+issue_width = 3;
+description = "3-way VLIW with a limited operation set (SPAM2 reconstruction)";
+`
+
+// SPAM parses SPAMSource; panics on error (compiled-in constant, covered by
+// tests).
+func SPAM() *isdl.Description {
+	d, err := isdl.Parse(SPAMSource)
+	if err != nil {
+		panic("machines: SPAM description invalid: " + err.Error())
+	}
+	return d
+}
+
+// SPAM2 parses SPAM2Source; panics on error.
+func SPAM2() *isdl.Description {
+	d, err := isdl.Parse(SPAM2Source)
+	if err != nil {
+		panic("machines: SPAM2 description invalid: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,122 @@
+// Package machines holds the ISDL descriptions used throughout the
+// repository: Toy (a small single-issue machine used by tests and the
+// quickstart), and SPAM / SPAM2, the two VLIW processors of the paper's
+// evaluation (§6).
+package machines
+
+import "repro/internal/isdl"
+
+// ToySource is the ISDL text of a small 8-bit single-issue accumulator-free
+// load/store machine. It exercises every ISDL construct: both token forms,
+// a non-terminal with two addressing-mode options, every storage kind,
+// control flow through the PC, the stack builtins, and a multi-cycle
+// operation with a non-unit latency.
+const ToySource = `
+Machine toy;
+Format 24;
+
+Section Global_Definitions
+
+Token GPR "R" [0..7];
+Token IMM8 imm signed 8;
+Token UIMM8 imm unsigned 8;
+
+// SRC is a classic register-or-immediate addressing mode.
+Non_Terminal SRC width 9 :
+  option (r: GPR)
+    Encode { R[8] = 0b0; R[7:3] = 0b00000; R[2:0] = r; }
+    Value { RF[r] }
+  option "#" (i: IMM8)
+    Encode { R[8] = 0b1; R[7:0] = i; }
+    Value { i }
+;
+
+Section Storage
+
+InstructionMemory IMEM width 24 depth 256;
+DataMemory DMEM width 8 depth 256;
+RegFile RF width 8 depth 8;
+Register ACC width 8;
+ControlRegister CC width 2;
+ControlRegister HLT width 1;
+MemoryMappedIO MMIO width 8 depth 4 base 240;
+ProgramCounter PC width 8;
+Stack STK width 8 depth 16;
+Alias RZ = RF[0];
+Alias CARRY = CC[0:0];
+
+Section Instruction_Set
+
+Field EX:
+  op add (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[23:20] = 0x0; I[19:17] = d; I[16:14] = a; I[8:0] = s; }
+    Action { RF[d] <- RF[a] + s; }
+    SideEffect { CC[0:0] <- carry(RF[a], s); }
+    Cost { Cycle = 1; Stall = 0; Size = 1; }
+    Timing { Latency = 1; Usage = 1; }
+  op sub (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[23:20] = 0x1; I[19:17] = d; I[16:14] = a; I[8:0] = s; }
+    Action { RF[d] <- RF[a] - s; }
+    SideEffect { CC[1:1] <- borrow(RF[a], s); }
+  op and (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[23:20] = 0x2; I[19:17] = d; I[16:14] = a; I[8:0] = s; }
+    Action { RF[d] <- RF[a] & s; }
+  op mv (d: GPR) "," (s: SRC)
+    Encode { I[23:20] = 0x3; I[19:17] = d; I[8:0] = s; }
+    Action { RF[d] <- s; }
+  op ld (d: GPR) "," "@" (a: GPR)
+    Encode { I[23:20] = 0x4; I[19:17] = d; I[16:14] = a; }
+    Action { RF[d] <- DMEM[RF[a]]; }
+    Cost { Cycle = 1; Stall = 1; }
+    Timing { Latency = 2; Usage = 1; }
+  op st "@" (a: GPR) "," (v: GPR)
+    Encode { I[23:20] = 0x5; I[16:14] = a; I[19:17] = v; }
+    Action { DMEM[RF[a]] <- RF[v]; }
+  op beq (a: GPR) "," (b: GPR) "," (t: UIMM8)
+    Encode { I[23:20] = 0x6; I[19:17] = a; I[16:14] = b; I[7:0] = t; }
+    Action { if (RF[a] == RF[b]) { PC <- t; } }
+  op jmp (t: UIMM8)
+    Encode { I[23:20] = 0x7; I[7:0] = t; }
+    Action { PC <- t; }
+  op push (v: GPR)
+    Encode { I[23:20] = 0x8; I[19:17] = v; }
+    Action { push(STK, RF[v]); }
+  op pop (d: GPR)
+    Encode { I[23:20] = 0x9; I[19:17] = d; }
+    Action { RF[d] <- pop(STK); }
+  op call (t: UIMM8)
+    Encode { I[23:20] = 0xa; I[7:0] = t; }
+    Action { push(STK, PC); PC <- t; }
+  op ret
+    Encode { I[23:20] = 0xb; }
+    Action { PC <- pop(STK); }
+  op mul (d: GPR) "," (a: GPR) "," (s: SRC)
+    Encode { I[23:20] = 0xc; I[19:17] = d; I[16:14] = a; I[8:0] = s; }
+    Action { RF[d] <- RF[a] * s; }
+    Cost { Cycle = 1; Stall = 2; Size = 1; }
+    Timing { Latency = 3; Usage = 1; }
+  // out writes a memory-mapped I/O port; bit 13 is a required constant so
+  // not every 0xe-opcode word decodes (tests rely on 0xe00000 being an
+  // illegal instruction).
+  op out (p: UIMM8) "," (v: GPR)
+    Encode { I[23:20] = 0xe; I[13] = 0b1; I[7:0] = p; I[19:17] = v; }
+    Action { MMIO[p] <- RF[v]; }
+  op halt
+    Encode { I[23:20] = 0xd; }
+    Action { HLT <- 0b1; }
+  op nop
+    Encode { I[23:20] = 0xf; }
+
+Section Architectural_Information
+issue_width = 1;
+`
+
+// Toy parses ToySource; it panics on error because the source is a compiled-in
+// constant covered by tests.
+func Toy() *isdl.Description {
+	d, err := isdl.Parse(ToySource)
+	if err != nil {
+		panic("machines: toy description invalid: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,184 @@
+package machines
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file provides the application workloads the evaluation runs: the DSP
+// kernels the paper's embedded-systems motivation targets. Each generator
+// returns assembly text for its machine plus (where useful) a Go reference
+// model so tests can check the simulated results value-for-value.
+
+// FIRSPAM builds a taps-tap FIR filter over nout outputs for the SPAM
+// machine: coefficients in DMY, samples in DMX, outputs appended in DMX at
+// outBase. The inner loop is software-pipelined two-wide (parallel X/Y loads
+// feeding the MAC) and uses post-increment addressing and djnz — the VLIW
+// features SPAM exists to showcase.
+func FIRSPAM(taps, nout int, samples, coefs []int64) string {
+	if len(samples) < nout+taps {
+		panic("machines: FIRSPAM needs len(samples) >= nout+taps")
+	}
+	var sb strings.Builder
+	sb.WriteString("; FIR filter on SPAM: y[i] = sum_k c[k] * x[i+k]\n")
+	writeData(&sb, "DMX", 0, samples)
+	writeData(&sb, "DMY", 0, coefs)
+	const outBase = 256
+	fmt.Fprintf(&sb, `
+    mvi R0, #0            ; coefficient base
+    mvi R7, #%d           ; output count
+    mvi R5, #0            ; sliding sample index
+    mvi R6, #1
+    shl R6, R6, #8        ; R6 = %d = output base
+    mvar A2, R6
+outer:
+    mvar A0, R5
+    mvi R4, #%d || MV3.mvar A1, R0
+    clr
+inner:
+    ldx R2, @A0+ || ldy R3, @A1+
+    mac R2, R3 || BR.djnz R4, inner
+    saclo R8
+    stx @A2+, R8
+    add R5, R5, #1
+    djnz R7, outer
+    halt
+`, nout, outBase, taps)
+	return sb.String()
+}
+
+// FIRSPAMOutBase is the DMX address where FIRSPAM writes its outputs.
+const FIRSPAMOutBase = 256
+
+// FIRReference computes the expected outputs of FIRSPAM, truncated to the
+// 32-bit SPAM datapath.
+func FIRReference(taps, nout int, samples, coefs []int64) []uint32 {
+	out := make([]uint32, nout)
+	for i := 0; i < nout; i++ {
+		var acc uint64
+		for k := 0; k < taps; k++ {
+			acc += uint64(uint32(samples[i+k])) * uint64(uint32(coefs[k]))
+		}
+		out[i] = uint32(acc)
+	}
+	return out
+}
+
+// FIRTestVectors returns deterministic sample and coefficient vectors.
+func FIRTestVectors(taps, nout int) (samples, coefs []int64) {
+	samples = make([]int64, nout+taps)
+	for i := range samples {
+		samples[i] = int64((i*37 + 11) % 251)
+	}
+	coefs = make([]int64, taps)
+	for i := range coefs {
+		coefs[i] = int64((i*13 + 3) % 97)
+	}
+	return samples, coefs
+}
+
+// VecAddSPAM2 builds c[i] = a[i] + b[i] over n elements on SPAM2, with a
+// running checksum left in R7. Arrays a, b, c live in DM at 0, 128 and 256.
+func VecAddSPAM2(n int, a, b []int64) string {
+	if n > 128 || len(a) < n || len(b) < n {
+		panic("machines: VecAddSPAM2 wants n <= 128 elements")
+	}
+	var sb strings.Builder
+	sb.WriteString("; vector add with checksum on SPAM2\n")
+	writeData(&sb, "DM", 0, a[:n])
+	writeData(&sb, "DM", 128, b[:n])
+	// 128 and 256 exceed the signed 8-bit immediate, so the bases are
+	// built arithmetically.
+	fmt.Fprintf(&sb, `
+    mvi R1, #%d
+    mvi R7, #0
+    mvi R6, #0
+    mvar A0, R6          ; a at 0
+    mvi R5, #64
+    add R6, R5, R5       ; 128
+    mvar A1, R6          ; b at 128
+    add R6, R6, R6       ; 256
+    mvar A2, R6          ; c at 256
+loop:
+    ld R3, @A0+
+    ld R4, @A1+
+    add R5, R3, R4
+    st @A2+, R5 || ALU.add R7, R7, R5
+    sub R1, R1, #1
+    beqz R1, done
+    jmp loop
+done:
+    halt
+`, n)
+	return sb.String()
+}
+
+// VecAddReference returns the expected c values (16-bit) and checksum.
+func VecAddReference(n int, a, b []int64) (c []uint16, checksum uint16) {
+	c = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		c[i] = uint16(a[i]) + uint16(b[i])
+		checksum += c[i]
+	}
+	return c, checksum
+}
+
+// VecTestVectors returns deterministic operand vectors for VecAddSPAM2.
+func VecTestVectors(n int) (a, b []int64) {
+	a = make([]int64, n)
+	b = make([]int64, n)
+	for i := range a {
+		a[i] = int64((i*29 + 7) % 199)
+		b[i] = int64((i*53 + 17) % 211)
+	}
+	return a, b
+}
+
+// DotSPAM builds a dot product of two n-vectors on SPAM (X and Y memories),
+// leaving the low accumulator word in R8.
+func DotSPAM(n int, x, y []int64) string {
+	if len(x) < n || len(y) < n {
+		panic("machines: DotSPAM needs n elements")
+	}
+	var sb strings.Builder
+	sb.WriteString("; dot product on SPAM\n")
+	writeData(&sb, "DMX", 0, x[:n])
+	writeData(&sb, "DMY", 0, y[:n])
+	fmt.Fprintf(&sb, `
+    mvi R0, #0
+    mvar A0, R0
+    mvar A1, R0
+    mvi R4, #%d
+    clr
+loop:
+    ldx R2, @A0+ || ldy R3, @A1+
+    mac R2, R3 || BR.djnz R4, loop
+    saclo R8
+    halt
+`, n)
+	return sb.String()
+}
+
+// DotReference computes the expected 32-bit dot product.
+func DotReference(n int, x, y []int64) uint32 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += uint64(uint32(x[i])) * uint64(uint32(y[i]))
+	}
+	return uint32(acc)
+}
+
+func writeData(sb *strings.Builder, storage string, base int, vals []int64) {
+	const perLine = 16
+	for i := 0; i < len(vals); i += perLine {
+		end := i + perLine
+		if end > len(vals) {
+			end = len(vals)
+		}
+		fmt.Fprintf(sb, ".data %s %d", storage, base+i)
+		for _, v := range vals[i:end] {
+			fmt.Fprintf(sb, " %d", v)
+		}
+		sb.WriteByte('\n')
+	}
+}

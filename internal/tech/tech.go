@@ -1,0 +1,228 @@
+// Package tech models the target implementation technology: cell areas in
+// grid cells, delays in nanoseconds, and switching energies. The paper
+// synthesized the HGEN output with Synopsys against the LSI Logic LSI 10K
+// library (Table 2); that library is proprietary, so this package provides a
+// self-contained cost model with LSI10K-flavoured constants (≈1 ns basic
+// gate, grid-cell areas). Die size, cycle length and power are computed by
+// internal/hgen from these models; the relative SPAM vs SPAM2 shape of
+// Table 2 depends only on the model's consistency, not its absolute values.
+package tech
+
+import "math"
+
+// Metrics aggregates the implementation costs of one hardware unit.
+type Metrics struct {
+	// AreaCells is the silicon area in technology grid cells.
+	AreaCells float64
+	// DelayNs is the worst-case propagation delay through the unit.
+	DelayNs float64
+	// EnergyPJ is the switching energy of one activation.
+	EnergyPJ float64
+}
+
+// Add accumulates area and energy (delays do not add here; path delays are
+// summed by the timing analyzer along paths).
+func (m *Metrics) Add(o Metrics) {
+	m.AreaCells += o.AreaCells
+	m.EnergyPJ += o.EnergyPJ
+	if o.DelayNs > m.DelayNs {
+		m.DelayNs = o.DelayNs
+	}
+}
+
+// Library is a technology cost model.
+type Library struct {
+	Name string
+
+	// GateDelayNs is one two-input gate level.
+	GateDelayNs float64
+	// GateArea is the grid cells of a two-input gate.
+	GateArea float64
+	// GateEnergyPJ is the switching energy of a gate.
+	GateEnergyPJ float64
+
+	// FullAdderDelayNs is one ripple-carry stage.
+	FullAdderDelayNs float64
+	FullAdderArea    float64
+
+	// FlopDelayNs is clock-to-Q plus setup: the sequential overhead added
+	// to every register-to-register path.
+	FlopDelayNs float64
+	FlopArea    float64
+
+	// MemCellArea is one bit of RAM; MemFixedArea a per-array overhead.
+	MemCellArea  float64
+	MemFixedArea float64
+	// MemAccessNs is the base access time; doubled word lines add
+	// logarithmic depth delay.
+	MemAccessNs float64
+
+	// WireDelayPerFanoutNs charges loading on multi-fanout nets.
+	WireDelayPerFanoutNs float64
+
+	// LeakagePWPerCell converts area into static power.
+	LeakagePWPerCell float64
+}
+
+// LSI10K returns the default library. The constants are synthetic but sized
+// like the mid-1990s gate arrays the paper used: ~1 ns gates, flip-flops a
+// few grid cells, RAM bits cheaper than logic bits.
+func LSI10K() *Library {
+	return &Library{
+		Name:                 "lsi10k",
+		GateDelayNs:          1.0,
+		GateArea:             1.0,
+		GateEnergyPJ:         0.5,
+		FullAdderDelayNs:     1.8,
+		FullAdderArea:        6.0,
+		FlopDelayNs:          2.2,
+		FlopArea:             6.0,
+		MemCellArea:          1.5,
+		MemFixedArea:         64.0,
+		MemAccessNs:          3.0,
+		WireDelayPerFanoutNs: 0.08,
+		LeakagePWPerCell:     2.0,
+	}
+}
+
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// Adder is an n-bit carry-propagate adder (or subtractor; the cost is the
+// same plus one level of input inversion folded into the model).
+func (l *Library) Adder(width int) Metrics {
+	n := float64(width)
+	return Metrics{
+		AreaCells: n * l.FullAdderArea,
+		DelayNs:   n * l.FullAdderDelayNs,
+		EnergyPJ:  n * 3 * l.GateEnergyPJ,
+	}
+}
+
+// Multiplier is an n×n array multiplier producing n bits.
+func (l *Library) Multiplier(width int) Metrics {
+	n := float64(width)
+	return Metrics{
+		AreaCells: n * n * (l.FullAdderArea * 0.75),
+		DelayNs:   2 * n * l.FullAdderDelayNs,
+		EnergyPJ:  n * n * l.GateEnergyPJ,
+	}
+}
+
+// Divider is an n-bit sequential-restoring divider flattened combinationally
+// (rarely used; deliberately expensive, as on real gate arrays).
+func (l *Library) Divider(width int) Metrics {
+	n := float64(width)
+	return Metrics{
+		AreaCells: n * n * l.FullAdderArea,
+		DelayNs:   n * n * l.FullAdderDelayNs * 0.5,
+		EnergyPJ:  n * n * 2 * l.GateEnergyPJ,
+	}
+}
+
+// Logic is an n-bit two-input bitwise unit (AND/OR/XOR/NOT).
+func (l *Library) Logic(width int) Metrics {
+	n := float64(width)
+	return Metrics{
+		AreaCells: n * l.GateArea,
+		DelayNs:   l.GateDelayNs,
+		EnergyPJ:  n * l.GateEnergyPJ,
+	}
+}
+
+// Comparator is an n-bit equality/magnitude comparator.
+func (l *Library) Comparator(width int) Metrics {
+	n := float64(width)
+	return Metrics{
+		AreaCells: n*l.GateArea*2 + log2ceil(width)*l.GateArea,
+		DelayNs:   (log2ceil(width) + 1) * l.GateDelayNs,
+		EnergyPJ:  n * l.GateEnergyPJ,
+	}
+}
+
+// Shifter is an n-bit barrel shifter (variable shift amount).
+func (l *Library) Shifter(width int) Metrics {
+	n := float64(width)
+	levels := log2ceil(width)
+	return Metrics{
+		AreaCells: n * levels * 2 * l.GateArea,
+		DelayNs:   levels * l.GateDelayNs,
+		EnergyPJ:  n * levels * l.GateEnergyPJ,
+	}
+}
+
+// Mux is an n-bit ways-input multiplexer tree.
+func (l *Library) Mux(width, ways int) Metrics {
+	if ways < 2 {
+		return Metrics{}
+	}
+	n := float64(width)
+	levels := log2ceil(ways)
+	m2 := float64(ways-1) * n * 1.5 * l.GateArea
+	return Metrics{
+		AreaCells: m2,
+		DelayNs:   levels * l.GateDelayNs * 1.2,
+		EnergyPJ:  n * float64(ways-1) * 0.3 * l.GateEnergyPJ,
+	}
+}
+
+// Register is an n-bit flip-flop bank.
+func (l *Library) Register(width int) Metrics {
+	n := float64(width)
+	return Metrics{
+		AreaCells: n * l.FlopArea,
+		DelayNs:   l.FlopDelayNs,
+		EnergyPJ:  n * 1.2 * l.GateEnergyPJ,
+	}
+}
+
+// Memory is a width×depth RAM with the given number of access ports.
+func (l *Library) Memory(width, depth, ports int) Metrics {
+	bits := float64(width * depth)
+	p := float64(ports)
+	return Metrics{
+		AreaCells: l.MemFixedArea + bits*l.MemCellArea*(0.7+0.3*p),
+		DelayNs:   l.MemAccessNs + log2ceil(depth)*0.25*l.GateDelayNs,
+		EnergyPJ:  float64(width) * 2 * l.GateEnergyPJ,
+	}
+}
+
+// DecodeTerm is one product term over the given number of literals — the
+// two-level decode equations of §4.2 (e.g. I9'·I8·I6·I5).
+func (l *Library) DecodeTerm(literals int) Metrics {
+	if literals < 1 {
+		return Metrics{}
+	}
+	return Metrics{
+		AreaCells: float64(literals-1)*l.GateArea + 0.5,
+		DelayNs:   (log2ceil(literals) + 1) * l.GateDelayNs,
+		EnergyPJ:  float64(literals) * 0.2 * l.GateEnergyPJ,
+	}
+}
+
+// WireDelay charges fan-out loading on a net.
+func (l *Library) WireDelay(fanout int) float64 {
+	if fanout < 1 {
+		fanout = 1
+	}
+	return float64(fanout) * l.WireDelayPerFanoutNs
+}
+
+// LeakageMW converts total area into static power in milliwatts.
+func (l *Library) LeakageMW(areaCells float64) float64 {
+	return areaCells * l.LeakagePWPerCell * 1e-9 * 1e3
+}
+
+// DynamicMW estimates dynamic power from switched energy per cycle and the
+// cycle length.
+func (l *Library) DynamicMW(energyPerCyclePJ, cycleNs float64) float64 {
+	if cycleNs <= 0 {
+		return 0
+	}
+	// pJ / ns = mW.
+	return energyPerCyclePJ / cycleNs
+}

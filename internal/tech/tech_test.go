@@ -1,0 +1,117 @@
+package tech_test
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func lib() *tech.Library { return tech.LSI10K() }
+
+// TestMonotoneInWidth checks the basic sanity property every cost model must
+// have: wider datapaths are never cheaper or faster.
+func TestMonotoneInWidth(t *testing.T) {
+	l := lib()
+	units := map[string]func(int) tech.Metrics{
+		"adder":      l.Adder,
+		"multiplier": l.Multiplier,
+		"divider":    l.Divider,
+		"logic":      l.Logic,
+		"comparator": l.Comparator,
+		"shifter":    l.Shifter,
+		"register":   l.Register,
+	}
+	for name, f := range units {
+		prev := tech.Metrics{}
+		for _, w := range []int{1, 4, 8, 16, 32, 64} {
+			m := f(w)
+			if m.AreaCells < prev.AreaCells || m.DelayNs < prev.DelayNs {
+				t.Errorf("%s: width %d cheaper than narrower (%+v < %+v)", name, w, m, prev)
+			}
+			if w > 1 && m.AreaCells <= 0 {
+				t.Errorf("%s: zero area at width %d", name, w)
+			}
+			prev = m
+		}
+	}
+}
+
+func TestMultiplierDominatesAdder(t *testing.T) {
+	l := lib()
+	for _, w := range []int{8, 16, 32} {
+		if l.Multiplier(w).AreaCells <= l.Adder(w).AreaCells {
+			t.Errorf("multiplier should dwarf adder at width %d", w)
+		}
+		if l.Multiplier(w).DelayNs <= l.Adder(w).DelayNs {
+			t.Errorf("multiplier should be slower than adder at width %d", w)
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	l := lib()
+	if m := l.Mux(8, 1); m.AreaCells != 0 {
+		t.Errorf("1-way mux should be free: %+v", m)
+	}
+	m2, m4 := l.Mux(8, 2), l.Mux(8, 4)
+	if m4.AreaCells <= m2.AreaCells || m4.DelayNs <= m2.DelayNs {
+		t.Errorf("4-way mux should cost more than 2-way: %+v vs %+v", m4, m2)
+	}
+}
+
+func TestMemoryScaling(t *testing.T) {
+	l := lib()
+	small, big := l.Memory(8, 16, 1), l.Memory(8, 1024, 1)
+	if big.AreaCells <= small.AreaCells || big.DelayNs <= small.DelayNs {
+		t.Error("deeper memory should be larger and slower")
+	}
+	dual := l.Memory(8, 16, 2)
+	if dual.AreaCells <= small.AreaCells {
+		t.Error("dual-port memory should be larger")
+	}
+}
+
+func TestDecodeTerm(t *testing.T) {
+	l := lib()
+	if m := l.DecodeTerm(0); m.AreaCells != 0 {
+		t.Errorf("empty term: %+v", m)
+	}
+	t4, t8 := l.DecodeTerm(4), l.DecodeTerm(8)
+	if t8.AreaCells <= t4.AreaCells || t8.DelayNs < t4.DelayNs {
+		t.Error("wider decode terms should cost more")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	m := tech.Metrics{AreaCells: 1, DelayNs: 5, EnergyPJ: 1}
+	m.Add(tech.Metrics{AreaCells: 2, DelayNs: 3, EnergyPJ: 4})
+	if m.AreaCells != 3 || m.DelayNs != 5 || m.EnergyPJ != 5 {
+		t.Errorf("Add: %+v", m)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	l := lib()
+	if l.LeakageMW(0) != 0 {
+		t.Error("zero area should leak nothing")
+	}
+	if l.LeakageMW(1e6) <= 0 {
+		t.Error("leakage should be positive")
+	}
+	if got := l.DynamicMW(50, 10); got != 5 {
+		t.Errorf("DynamicMW = %v, want 5 (pJ/ns = mW)", got)
+	}
+	if l.DynamicMW(50, 0) != 0 {
+		t.Error("zero cycle guard")
+	}
+}
+
+func TestWireDelay(t *testing.T) {
+	l := lib()
+	if l.WireDelay(0) != l.WireDelay(1) {
+		t.Error("fanout floor at 1")
+	}
+	if l.WireDelay(10) <= l.WireDelay(1) {
+		t.Error("wire delay should grow with fanout")
+	}
+}

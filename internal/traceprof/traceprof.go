@@ -1,0 +1,246 @@
+// Package traceprof is the trace "processing program" of paper §3.1: the
+// XSIM simulators emit an execution address trace (one instruction address
+// per line) either to a file or directly to a consumer; this package is
+// that consumer. It aggregates the trace into an execution profile —
+// per-address counts, symbol-level attribution, hottest regions — the kind
+// of utilization evidence the exploration loop uses to decide what to
+// improve next.
+package traceprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/bitvec"
+	"repro/internal/decode"
+	"repro/internal/isdl"
+)
+
+// Profile is an aggregated execution-address trace.
+type Profile struct {
+	Total  uint64
+	Counts map[int]uint64
+}
+
+// New returns an empty profile. It implements io.Writer, so it can be
+// attached directly to a simulator with SetTrace (the "directly to a
+// processing program" path); partial lines across Write calls are handled.
+func New() *Profile {
+	return &Profile{Counts: map[int]uint64{}}
+}
+
+// Add records one execution of the instruction at addr.
+func (p *Profile) Add(addr int) {
+	p.Counts[addr]++
+	p.Total++
+}
+
+// pending holds an incomplete trailing line between Write calls.
+type writerState struct {
+	p       *Profile
+	pending []byte
+}
+
+// Writer adapts the profile to io.Writer for Simulator.SetTrace.
+func (p *Profile) Writer() io.Writer { return &writerState{p: p} }
+
+func (w *writerState) Write(b []byte) (int, error) {
+	w.pending = append(w.pending, b...)
+	for {
+		i := indexByte(w.pending, '\n')
+		if i < 0 {
+			return len(b), nil
+		}
+		line := strings.TrimSpace(string(w.pending[:i]))
+		w.pending = w.pending[i+1:]
+		if line == "" {
+			continue
+		}
+		addr, err := strconv.ParseInt(line, 16, 32)
+		if err != nil {
+			return len(b), fmt.Errorf("traceprof: bad trace line %q", line)
+		}
+		w.p.Add(int(addr))
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Read parses a trace file (hexadecimal addresses, one per line).
+func Read(r io.Reader) (*Profile, error) {
+	p := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		addr, err := strconv.ParseInt(line, 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("traceprof: line %d: bad address %q", lineNo, line)
+		}
+		p.Add(int(addr))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// HotSpot is one address with its execution count.
+type HotSpot struct {
+	Addr  int
+	Count uint64
+}
+
+// Hot returns the n most-executed addresses, hottest first (ties by
+// address).
+func (p *Profile) Hot(n int) []HotSpot {
+	out := make([]HotSpot, 0, len(p.Counts))
+	for a, c := range p.Counts {
+		out = append(out, HotSpot{Addr: a, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// SymbolCount attributes executions to the nearest preceding program symbol
+// — a function-level profile.
+type SymbolCount struct {
+	Symbol string
+	Count  uint64
+	Share  float64
+}
+
+// BySymbol aggregates the profile over the program's symbols. Addresses
+// before the first symbol are attributed to the load base.
+func (p *Profile) BySymbol(prog *asm.Program) []SymbolCount {
+	type sym struct {
+		name string
+		addr int
+	}
+	syms := make([]sym, 0, len(prog.Symbols)+1)
+	syms = append(syms, sym{name: fmt.Sprintf("<base+%#x>", prog.Base), addr: prog.Base})
+	for name, addr := range prog.Symbols {
+		syms = append(syms, sym{name: name, addr: addr})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+
+	counts := map[string]uint64{}
+	for addr, c := range p.Counts {
+		name := syms[0].name
+		for _, s := range syms {
+			if s.addr <= addr {
+				name = s.name
+			} else {
+				break
+			}
+		}
+		counts[name] += c
+	}
+	out := make([]SymbolCount, 0, len(counts))
+	for name, c := range counts {
+		share := 0.0
+		if p.Total > 0 {
+			share = float64(c) / float64(p.Total)
+		}
+		out = append(out, SymbolCount{Symbol: name, Count: c, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Symbol < out[j].Symbol
+	})
+	return out
+}
+
+// Annotate renders an annotated listing: every profiled address with its
+// count, share, and disassembly.
+func (p *Profile) Annotate(w io.Writer, d *isdl.Description, prog *asm.Program) error {
+	addrs := make([]int, 0, len(p.Counts))
+	for a := range p.Counts {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	addrToSym := map[int][]string{}
+	for _, name := range prog.SymbolsSorted() {
+		addrToSym[prog.Symbols[name]] = append(addrToSym[prog.Symbols[name]], name)
+	}
+	for _, a := range addrs {
+		for _, s := range addrToSym[a] {
+			fmt.Fprintf(w, "%s:\n", s)
+		}
+		text := "<outside program>"
+		if idx := a - prog.Base; idx >= 0 && idx < len(prog.Words) {
+			img := decode.FetchWord(d, func(x int) bitvec.Value {
+				if i := x - prog.Base; i >= 0 && i < len(prog.Words) {
+					return prog.Words[i]
+				}
+				return prog.Words[idx]
+			}, a)
+			if inst, err := decode.Instruction(d, img); err == nil {
+				text = asm.RenderInst(d, inst)
+			} else {
+				text = "<data>"
+			}
+		}
+		share := float64(p.Counts[a]) / float64(p.Total) * 100
+		fmt.Fprintf(w, "%04x %10d %6.2f%%  %s\n", a, p.Counts[a], share, text)
+	}
+	fmt.Fprintf(w, "total %d instructions at %d distinct addresses\n", p.Total, len(p.Counts))
+	return nil
+}
+
+// Report writes the standard profile report: symbol attribution then the
+// hottest addresses.
+func (p *Profile) Report(w io.Writer, d *isdl.Description, prog *asm.Program, topN int) error {
+	fmt.Fprintf(w, "execution profile: %d instructions\n\nby symbol:\n", p.Total)
+	for _, sc := range p.BySymbol(prog) {
+		fmt.Fprintf(w, "  %-20s %10d %6.2f%%\n", sc.Symbol, sc.Count, sc.Share*100)
+	}
+	fmt.Fprintf(w, "\nhottest addresses:\n")
+	for _, h := range p.Hot(topN) {
+		text := ""
+		if idx := h.Addr - prog.Base; idx >= 0 && idx < len(prog.Words) {
+			img := decode.FetchWord(d, func(x int) bitvec.Value {
+				if i := x - prog.Base; i >= 0 && i < len(prog.Words) {
+					return prog.Words[i]
+				}
+				return prog.Words[idx]
+			}, h.Addr)
+			if inst, err := decode.Instruction(d, img); err == nil {
+				text = asm.RenderInst(d, inst)
+			}
+		}
+		fmt.Fprintf(w, "  %04x %10d  %s\n", h.Addr, h.Count, text)
+	}
+	return nil
+}

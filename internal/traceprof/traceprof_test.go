@@ -1,0 +1,134 @@
+package traceprof_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machines"
+	"repro/internal/traceprof"
+	"repro/internal/xsim"
+)
+
+const loopProgram = `
+    mv R1, #0
+    mv R2, #5
+top:
+    beq R2, R0, done
+    add R1, R1, R2
+    sub R2, R2, #1
+    jmp top
+done:
+    halt
+`
+
+func runWithProfile(t *testing.T) (*traceprof.Profile, *asm.Program) {
+	t.Helper()
+	d := machines.Toy()
+	p, err := asm.Assemble(d, loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := traceprof.New()
+	sim := xsim.New(d)
+	sim.SetTrace(prof.Writer())
+	if err := sim.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return prof, p
+}
+
+func TestProfileDirectAttachment(t *testing.T) {
+	prof, p := runWithProfile(t)
+	// 2 setup + 6×beq? loop body: beq(6 times: 5 taken + final exit),
+	// add/sub/jmp ×5, halt.
+	if prof.Total != 2+6+15+1 {
+		t.Fatalf("total = %d", prof.Total)
+	}
+	// The loop head executes 6 times.
+	if got := prof.Counts[p.Symbols["top"]]; got != 6 {
+		t.Fatalf("loop head count = %d", got)
+	}
+	hot := prof.Hot(3)
+	if len(hot) != 3 || hot[0].Count < hot[1].Count {
+		t.Fatalf("hot: %+v", hot)
+	}
+}
+
+func TestProfileBySymbol(t *testing.T) {
+	prof, p := runWithProfile(t)
+	by := prof.BySymbol(p)
+	if by[0].Symbol != "top" {
+		t.Fatalf("hottest symbol = %s", by[0].Symbol)
+	}
+	if by[0].Count != 21 { // 6 beq + 5×(add,sub,jmp)
+		t.Fatalf("top count = %d", by[0].Count)
+	}
+	var sum float64
+	for _, s := range by {
+		sum += s.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %f", sum)
+	}
+}
+
+func TestReadTraceFile(t *testing.T) {
+	prof, err := traceprof.Read(strings.NewReader("# comment\n0\n1\n1\na\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Total != 4 || prof.Counts[1] != 2 || prof.Counts[10] != 1 {
+		t.Fatalf("profile: %+v", prof)
+	}
+	if _, err := traceprof.Read(strings.NewReader("zz\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReportAndAnnotate(t *testing.T) {
+	prof, p := runWithProfile(t)
+	d := machines.Toy()
+	var buf bytes.Buffer
+	if err := prof.Report(&buf, d, p, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"by symbol:", "top", "hottest addresses:", "beq"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := prof.Annotate(&buf, d, p); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "top:") || !strings.Contains(out, "halt") {
+		t.Fatalf("annotate output:\n%s", out)
+	}
+	if !strings.Contains(out, "distinct addresses") {
+		t.Fatalf("annotate missing summary:\n%s", out)
+	}
+}
+
+func TestWriterPartialLines(t *testing.T) {
+	prof := traceprof.New()
+	w := prof.Writer()
+	if _, err := w.Write([]byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("f\n2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("0\n")); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Counts[0x1f] != 1 || prof.Counts[0x20] != 1 {
+		t.Fatalf("counts: %+v", prof.Counts)
+	}
+}

@@ -1,0 +1,153 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Emit renders a module as synthesizable Verilog text. The output is the
+// hardware model of §4: what the paper fed to Verilog-XL (Table 1) and to
+// Synopsys + the LSI 10K library (Table 2). Operator precedence is not
+// relied on — every sub-expression is parenthesized — so the parser and any
+// external tool agree on structure.
+func Emit(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s (\n", m.Name)
+	for i, p := range m.Ports {
+		comma := ","
+		if i == len(m.Ports)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&sb, "  %s%s\n", p.Name, comma)
+	}
+	sb.WriteString(");\n")
+	for _, p := range m.Ports {
+		fmt.Fprintf(&sb, "  %s %s%s;\n", dirString(p.Dir), rangeString(p.Width), p.Name)
+	}
+	sb.WriteByte('\n')
+	for _, n := range m.Nets {
+		kind := "wire"
+		if n.Reg {
+			kind = "reg"
+		}
+		if n.Depth > 0 {
+			fmt.Fprintf(&sb, "  %s %s%s [0:%d];\n", kind, rangeString(n.Width), n.Name, n.Depth-1)
+		} else {
+			fmt.Fprintf(&sb, "  %s %s%s;\n", kind, rangeString(n.Width), n.Name)
+		}
+	}
+	sb.WriteByte('\n')
+	for _, a := range m.Assigns {
+		fmt.Fprintf(&sb, "  assign %s = %s;\n", emitLValue(a.LHS), emitExpr(a.RHS))
+	}
+	for _, al := range m.Always {
+		fmt.Fprintf(&sb, "\n  always @(posedge %s) begin\n", al.Clock)
+		emitStmts(&sb, al.Stmts, 2)
+		sb.WriteString("  end\n")
+	}
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+func dirString(d PortDir) string {
+	if d == In {
+		return "input"
+	}
+	return "output"
+}
+
+func rangeString(w int) string {
+	if w == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", w-1)
+}
+
+func emitStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *NBAssign:
+			fmt.Fprintf(sb, "%s%s <= %s;\n", ind, emitLValue(s.LHS), emitExpr(s.RHS))
+		case *BAssign:
+			fmt.Fprintf(sb, "%s%s = %s;\n", ind, emitLValue(s.LHS), emitExpr(s.RHS))
+		case *If:
+			fmt.Fprintf(sb, "%sif (%s) begin\n", ind, emitExpr(s.Cond))
+			emitStmts(sb, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(sb, "%send else begin\n", ind)
+				emitStmts(sb, s.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%send\n", ind)
+		}
+	}
+}
+
+func emitLValue(l LValue) string {
+	switch l := l.(type) {
+	case *NetL:
+		return l.Name
+	case *IndexL:
+		return fmt.Sprintf("%s[%s]", l.Name, emitExpr(l.Idx))
+	case *SliceL:
+		if l.Hi == l.Lo {
+			return fmt.Sprintf("%s[%d]", l.Name, l.Lo)
+		}
+		return fmt.Sprintf("%s[%d:%d]", l.Name, l.Hi, l.Lo)
+	}
+	return "?"
+}
+
+func emitExpr(e Expr) string {
+	switch e := e.(type) {
+	case *Const:
+		return fmt.Sprintf("%d'h%s", e.Val.Width(), hexDigits(e))
+	case *Ref:
+		return e.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", e.Name, emitExpr(e.Idx))
+	case *Slice:
+		// The subset keeps slices on simple references so the text stays
+		// legal Verilog (no (expr)[h:l]).
+		inner := emitExpr(e.X)
+		if e.Hi == e.Lo {
+			return fmt.Sprintf("%s[%d]", inner, e.Lo)
+		}
+		return fmt.Sprintf("%s[%d:%d]", inner, e.Hi, e.Lo)
+	case *Unary:
+		return fmt.Sprintf("(%s%s)", e.Op, emitExpr(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", emitExpr(e.X), e.Op, emitExpr(e.Y))
+	case *Ternary:
+		return fmt.Sprintf("(%s ? %s : %s)", emitExpr(e.C), emitExpr(e.A), emitExpr(e.B))
+	case *ConcatE:
+		parts := make([]string, len(e.Parts))
+		for i, p := range e.Parts {
+			parts[i] = emitExpr(p)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "?"
+}
+
+func hexDigits(c *Const) string {
+	digits := (c.Val.Width() + 3) / 4
+	s := ""
+	for i := 0; i < digits; i++ {
+		nib := c.Val.ShrL(4*i).Uint64() & 0xf
+		s = fmt.Sprintf("%x", nib) + s
+	}
+	return s
+}
+
+// CountLines returns the number of source lines — the "Lines of Verilog"
+// column of Table 2.
+func CountLines(text string) int {
+	n := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,803 @@
+package verilog
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Parse reads one module in the synthesizable subset back into the AST. The
+// Table 1 flow is: HGEN emits Verilog text → Parse → event-driven
+// simulation, so the hardware model is exercised exactly as a Verilog
+// simulator would see it, not through a private in-memory shortcut.
+func Parse(src string) (*Module, error) {
+	p := &vparser{}
+	p.tokenize(src)
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if err := resolveWidths(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type vtok struct {
+	text  string
+	num   uint64
+	width int // -1: not a number; 0: unsized decimal; >0: sized literal
+	line  int
+}
+
+type vparser struct {
+	toks []vtok
+	pos  int
+}
+
+func (p *vparser) tokenize(src string) {
+	line := 1
+	i := 0
+	push := func(t vtok) { t.line = line; p.toks = append(p.toks, t) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isVWord(c):
+			j := i
+			for j < len(src) && isVWord(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if isVDigit(c) {
+				// Number; possibly the width part of a sized literal.
+				if j < len(src) && src[j] == '\'' {
+					width := parseUint(word)
+					base := src[j+1]
+					k := j + 2
+					for k < len(src) && isVWord(src[k]) {
+						k++
+					}
+					digits := src[j+2 : k]
+					var v uint64
+					switch base {
+					case 'h':
+						for _, d := range digits {
+							v = v<<4 | uint64(hexDigitVal(byte(d)))
+						}
+					case 'b':
+						for _, d := range digits {
+							v = v<<1 | uint64(d-'0')
+						}
+					default: // 'd'
+						v = parseUint(digits)
+					}
+					push(vtok{text: src[i:k], num: v, width: int(width)})
+					i = k
+					continue
+				}
+				push(vtok{text: word, num: parseUint(word), width: 0})
+			} else {
+				push(vtok{text: word, width: -1})
+			}
+			i = j
+		default:
+			// Multi-char operators.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "==", "!=", "<<", ">>", "&&", "||":
+				push(vtok{text: two, width: -1})
+				i += 2
+			default:
+				push(vtok{text: string(c), width: -1})
+				i++
+			}
+		}
+	}
+}
+
+func isVWord(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || isVDigit(c)
+}
+
+func isVDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func parseUint(s string) uint64 {
+	var v uint64
+	for _, c := range s {
+		v = v*10 + uint64(c-'0')
+	}
+	return v
+}
+
+func hexDigitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+func (p *vparser) errf(format string, args ...interface{}) error {
+	line := 0
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("verilog line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *vparser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *vparser) next() vtok {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *vparser) accept(text string) bool {
+	if p.peek() == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *vparser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.peek())
+	}
+	return nil
+}
+
+func (p *vparser) ident() (string, error) {
+	if p.pos >= len(p.toks) || p.toks[p.pos].width != -1 || !isVWord(p.toks[p.pos].text[0]) || isVDigit(p.toks[p.pos].text[0]) {
+		return "", p.errf("expected identifier, found %q", p.peek())
+	}
+	return p.next().text, nil
+}
+
+// number returns an unsized decimal value.
+func (p *vparser) number() (int, error) {
+	if p.pos >= len(p.toks) || p.toks[p.pos].width != 0 {
+		return 0, p.errf("expected number, found %q", p.peek())
+	}
+	return int(p.next().num), nil
+}
+
+// rangeDecl parses an optional "[h:0]" range and returns the width.
+func (p *vparser) rangeDecl() (int, error) {
+	if !p.accept("[") {
+		return 1, nil
+	}
+	h, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expect(":"); err != nil {
+		return 0, err
+	}
+	l, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expect("]"); err != nil {
+		return 0, err
+	}
+	if l != 0 || h < 0 {
+		return 0, p.errf("only [N:0] ranges are supported")
+	}
+	return h + 1, nil
+}
+
+func (p *vparser) parseModule() (*Module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	m := &Module{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var portNames []string
+	for !p.accept(")") {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		portNames = append(portNames, n)
+		p.accept(",")
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	portDir := map[string]PortDir{}
+	portWidth := map[string]int{}
+
+	for {
+		switch p.peek() {
+		case "input", "output":
+			dir := In
+			if p.next().text == "output" {
+				dir = Out
+			}
+			w, err := p.rangeDecl()
+			if err != nil {
+				return nil, err
+			}
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			portDir[n] = dir
+			portWidth[n] = w
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "wire", "reg":
+			isReg := p.next().text == "reg"
+			w, err := p.rangeDecl()
+			if err != nil {
+				return nil, err
+			}
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			depth := 0
+			if p.accept("[") {
+				lo, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(":"); err != nil {
+					return nil, err
+				}
+				hi, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				if lo != 0 {
+					return nil, p.errf("memory ranges must start at 0")
+				}
+				depth = hi + 1
+			}
+			m.Nets = append(m.Nets, Net{Name: n, Width: w, Reg: isReg, Depth: depth})
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "assign":
+			p.next()
+			lhs, err := p.parseLValue()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			m.Assigns = append(m.Assigns, Assign{LHS: lhs, RHS: rhs})
+		case "always":
+			p.next()
+			if err := p.expect("@"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			if err := p.expect("posedge"); err != nil {
+				return nil, err
+			}
+			clk, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			stmts, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			m.Always = append(m.Always, Always{Clock: clk, Stmts: stmts})
+		case "endmodule":
+			p.next()
+			for _, n := range portNames {
+				d, ok := portDir[n]
+				if !ok {
+					return nil, fmt.Errorf("verilog: port %s has no direction declaration", n)
+				}
+				m.Ports = append(m.Ports, Port{Name: n, Dir: d, Width: portWidth[n]})
+			}
+			return m, nil
+		default:
+			return nil, p.errf("unexpected token %q", p.peek())
+		}
+	}
+}
+
+func (p *vparser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("begin"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("end") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *vparser) parseStmt() (Stmt, error) {
+	if p.accept("if") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Cond: cond, Then: then}
+		if p.accept("else") {
+			st.Else, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	blocking := false
+	switch {
+	case p.accept("<="):
+	case p.accept("="):
+		blocking = true
+	default:
+		return nil, p.errf("expected <= or = in assignment")
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if blocking {
+		return &BAssign{LHS: lhs, RHS: rhs}, nil
+	}
+	return &NBAssign{LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *vparser) parseLValue() (LValue, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("[") {
+		return &NetL{Name: name}, nil
+	}
+	// Static "h:l" or "n" is a slice; anything else is a memory index.
+	if p.pos < len(p.toks) && p.toks[p.pos].width == 0 {
+		save := p.pos
+		first, _ := p.number()
+		if p.accept(":") {
+			lo, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &SliceL{Name: name, Hi: first, Lo: lo}, nil
+		}
+		if p.accept("]") {
+			return &SliceL{Name: name, Hi: first, Lo: first}, nil
+		}
+		p.pos = save
+	}
+	idx, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return &IndexL{Name: name, Idx: idx}, nil
+}
+
+// Expression parsing with conventional precedence; the ternary is lowest.
+var vprec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *vparser) parseExpr() (Expr, error) {
+	e, err := p.parseBin(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{C: e, A: a, B: b}, nil
+	}
+	return e, nil
+}
+
+func (p *vparser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec, ok := vprec[op]
+		// "<=" inside an expression context is a comparison, but our
+		// statement parser consumes it first, so no ambiguity here.
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *vparser) parseUnary() (Expr, error) {
+	switch p.peek() {
+	case "~", "!", "-", "|":
+		op := p.next().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *vparser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("[") {
+		if p.pos < len(p.toks) && p.toks[p.pos].width == 0 {
+			save := p.pos
+			first, _ := p.number()
+			if p.accept(":") {
+				lo, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				e = &Slice{X: e, Hi: first, Lo: lo}
+				continue
+			}
+			if p.accept("]") {
+				// Single static index: memory word or bit-select,
+				// disambiguated during width resolution.
+				e = &Slice{X: e, Hi: first, Lo: first}
+				continue
+			}
+			p.pos = save
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		ref, ok := e.(*Ref)
+		if !ok {
+			return nil, p.errf("only a net can be memory-indexed")
+		}
+		e = &Index{Name: ref.Name, Idx: idx}
+	}
+	return e, nil
+}
+
+func (p *vparser) parsePrimary() (Expr, error) {
+	switch {
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.accept("{"):
+		c := &ConcatE{}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case p.pos < len(p.toks) && p.toks[p.pos].width > 0:
+		t := p.next()
+		if t.width > 64 {
+			return nil, p.errf("literal wider than 64 bits")
+		}
+		return &Const{Val: bitvec.FromUint64(t.width, t.num)}, nil
+	case p.pos < len(p.toks) && p.toks[p.pos].width == 0:
+		// Bare decimal: give it a self-determined 32-bit width.
+		t := p.next()
+		return &Const{Val: bitvec.FromUint64(32, t.num)}, nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Ref{Name: name}, nil
+	}
+}
+
+// resolveWidths computes expression widths from declarations. Rules (a
+// deterministic simplification of the Verilog standard, matched by the
+// emitter): ref = declaration width; memory index = element width; slice =
+// hi−lo+1; ~,- = operand; !,| (reduce), comparisons, && and || = 1; shifts =
+// left operand; other binary = max of operands (zero-extending the
+// narrower); ternary = max of arms; concat = sum.
+func resolveWidths(m *Module) error {
+	var fix func(e Expr) (int, error)
+	fix = func(e Expr) (int, error) {
+		switch e := e.(type) {
+		case *Const:
+			return e.Val.Width(), nil
+		case *Ref:
+			w, depth, ok := m.NetByName(e.Name)
+			if !ok {
+				return 0, fmt.Errorf("verilog: undeclared net %s", e.Name)
+			}
+			if depth > 0 {
+				return 0, fmt.Errorf("verilog: memory %s used without an index", e.Name)
+			}
+			e.W = w
+			return w, nil
+		case *Index:
+			w, depth, ok := m.NetByName(e.Name)
+			if !ok {
+				return 0, fmt.Errorf("verilog: undeclared memory %s", e.Name)
+			}
+			if depth == 0 {
+				return 0, fmt.Errorf("verilog: %s is not a memory", e.Name)
+			}
+			if _, err := fix(e.Idx); err != nil {
+				return 0, err
+			}
+			e.W = w
+			return w, nil
+		case *Slice:
+			// A slice whose base is a memory reference is really an
+			// indexed word (bit-select of memories is not in the subset).
+			if ref, ok := e.X.(*Ref); ok {
+				if w, depth, found := m.NetByName(ref.Name); found && depth > 0 {
+					if e.Hi != e.Lo {
+						return 0, fmt.Errorf("verilog: part-select of memory %s", ref.Name)
+					}
+					idx := &Index{Name: ref.Name, Idx: &Const{Val: bitvec.FromUint64(32, uint64(e.Lo))}, W: w}
+					*e = Slice{X: idx, Hi: w - 1, Lo: 0}
+					return w, nil
+				}
+			}
+			xw, err := fix(e.X)
+			if err != nil {
+				return 0, err
+			}
+			if e.Hi >= xw || e.Lo < 0 || e.Hi < e.Lo {
+				return 0, fmt.Errorf("verilog: slice [%d:%d] out of range of %d-bit value", e.Hi, e.Lo, xw)
+			}
+			return e.Hi - e.Lo + 1, nil
+		case *Unary:
+			xw, err := fix(e.X)
+			if err != nil {
+				return 0, err
+			}
+			switch e.Op {
+			case "!", "|":
+				e.W = 1
+			default:
+				e.W = xw
+			}
+			return e.W, nil
+		case *Binary:
+			xw, err := fix(e.X)
+			if err != nil {
+				return 0, err
+			}
+			yw, err := fix(e.Y)
+			if err != nil {
+				return 0, err
+			}
+			switch e.Op {
+			case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+				e.W = 1
+			case "<<", ">>":
+				e.W = xw
+			default:
+				e.W = xw
+				if yw > e.W {
+					e.W = yw
+				}
+			}
+			return e.W, nil
+		case *Ternary:
+			if _, err := fix(e.C); err != nil {
+				return 0, err
+			}
+			aw, err := fix(e.A)
+			if err != nil {
+				return 0, err
+			}
+			bw, err := fix(e.B)
+			if err != nil {
+				return 0, err
+			}
+			e.W = aw
+			if bw > e.W {
+				e.W = bw
+			}
+			return e.W, nil
+		case *ConcatE:
+			total := 0
+			for _, part := range e.Parts {
+				w, err := fix(part)
+				if err != nil {
+					return 0, err
+				}
+				total += w
+			}
+			e.W = total
+			return total, nil
+		}
+		return 0, fmt.Errorf("verilog: unknown expression")
+	}
+
+	fixL := func(l LValue) error {
+		switch l := l.(type) {
+		case *NetL:
+			if _, _, ok := m.NetByName(l.Name); !ok {
+				return fmt.Errorf("verilog: undeclared net %s", l.Name)
+			}
+		case *IndexL:
+			if _, depth, ok := m.NetByName(l.Name); !ok || depth == 0 {
+				return fmt.Errorf("verilog: %s is not a memory", l.Name)
+			}
+			if _, err := fix(l.Idx); err != nil {
+				return err
+			}
+		case *SliceL:
+			w, depth, ok := m.NetByName(l.Name)
+			if !ok {
+				return fmt.Errorf("verilog: undeclared net %s", l.Name)
+			}
+			if depth > 0 {
+				return fmt.Errorf("verilog: part-select of memory %s", l.Name)
+			}
+			if l.Hi >= w || l.Lo < 0 || l.Hi < l.Lo {
+				return fmt.Errorf("verilog: slice [%d:%d] out of range of %s", l.Hi, l.Lo, l.Name)
+			}
+		}
+		return nil
+	}
+
+	for i := range m.Assigns {
+		if err := fixL(m.Assigns[i].LHS); err != nil {
+			return err
+		}
+		if _, err := fix(m.Assigns[i].RHS); err != nil {
+			return err
+		}
+	}
+	var fixStmts func(stmts []Stmt) error
+	fixStmts = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *NBAssign:
+				if err := fixL(s.LHS); err != nil {
+					return err
+				}
+				if _, err := fix(s.RHS); err != nil {
+					return err
+				}
+			case *BAssign:
+				if err := fixL(s.LHS); err != nil {
+					return err
+				}
+				if _, err := fix(s.RHS); err != nil {
+					return err
+				}
+			case *If:
+				if _, err := fix(s.Cond); err != nil {
+					return err
+				}
+				if err := fixStmts(s.Then); err != nil {
+					return err
+				}
+				if err := fixStmts(s.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for i := range m.Always {
+		if err := fixStmts(m.Always[i].Stmts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

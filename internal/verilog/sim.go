@@ -1,0 +1,475 @@
+package verilog
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Sim is an event-driven, two-value simulator for one elaborated module.
+//
+// Continuous assignments are processes with sensitivity lists; a change on a
+// net schedules every process in its fan-out, and evaluation repeats until
+// the combinational network reaches a fixpoint — the classic event-driven
+// HDL execution model whose per-cycle cost Table 1 compares against the
+// instruction-level simulator.
+type Sim struct {
+	m *Module
+
+	vals map[string]bitvec.Value
+	mems map[string][]bitvec.Value
+
+	// fanout maps a net to the continuous assignments that read it.
+	fanout map[string][]int
+	// queued marks assignments already in the work queue.
+	queued []bool
+	queue  []int
+
+	events uint64
+}
+
+// NewSim elaborates a module. Every net starts at zero (two-value
+// simulation).
+func NewSim(m *Module) (*Sim, error) {
+	s := &Sim{
+		m:      m,
+		vals:   map[string]bitvec.Value{},
+		mems:   map[string][]bitvec.Value{},
+		fanout: map[string][]int{},
+		queued: make([]bool, len(m.Assigns)),
+	}
+	for _, p := range m.Ports {
+		s.vals[p.Name] = bitvec.New(p.Width)
+	}
+	for _, n := range m.Nets {
+		if n.Depth > 0 {
+			mem := make([]bitvec.Value, n.Depth)
+			for i := range mem {
+				mem[i] = bitvec.New(n.Width)
+			}
+			s.mems[n.Name] = mem
+		} else {
+			s.vals[n.Name] = bitvec.New(n.Width)
+		}
+	}
+	driven := map[string]bool{}
+	for i := range m.Assigns {
+		a := &m.Assigns[i]
+		for _, dep := range exprDeps(a.RHS, nil) {
+			s.fanout[dep] = append(s.fanout[dep], i)
+		}
+		if nl, ok := a.LHS.(*NetL); ok {
+			if driven[nl.Name] {
+				return nil, fmt.Errorf("verilog: net %s has multiple whole-net drivers", nl.Name)
+			}
+			driven[nl.Name] = true
+		}
+	}
+	// Initial settle so outputs reflect the zero state.
+	for i := range m.Assigns {
+		s.schedule(i)
+	}
+	if err := s.settle(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Events returns the number of process evaluations so far — the measure of
+// event-driven simulation work.
+func (s *Sim) Events() uint64 { return s.events }
+
+// Module returns the simulated module.
+func (s *Sim) Module() *Module { return s.m }
+
+// Get reads a scalar net or port.
+func (s *Sim) Get(name string) (bitvec.Value, error) {
+	v, ok := s.vals[name]
+	if !ok {
+		return bitvec.Value{}, fmt.Errorf("verilog: no net %s", name)
+	}
+	return v, nil
+}
+
+// GetMem reads one memory word.
+func (s *Sim) GetMem(name string, idx int) (bitvec.Value, error) {
+	mem, ok := s.mems[name]
+	if !ok {
+		return bitvec.Value{}, fmt.Errorf("verilog: no memory %s", name)
+	}
+	if idx < 0 || idx >= len(mem) {
+		return bitvec.Value{}, fmt.Errorf("verilog: %s[%d] out of range", name, idx)
+	}
+	return mem[idx], nil
+}
+
+// SetMem initializes one memory word (testbench use: program load).
+func (s *Sim) SetMem(name string, idx int, v bitvec.Value) error {
+	mem, ok := s.mems[name]
+	if !ok {
+		return fmt.Errorf("verilog: no memory %s", name)
+	}
+	if idx < 0 || idx >= len(mem) {
+		return fmt.Errorf("verilog: %s[%d] out of range", name, idx)
+	}
+	mem[idx] = v.Trunc(mem[idx].Width())
+	for _, ai := range s.fanout[name] {
+		s.schedule(ai)
+	}
+	return s.settle()
+}
+
+// SetInput drives an input port and settles the combinational network.
+func (s *Sim) SetInput(name string, v bitvec.Value) error {
+	for _, p := range s.m.Ports {
+		if p.Name == name {
+			if p.Dir != In {
+				return fmt.Errorf("verilog: %s is not an input", name)
+			}
+			s.update(name, v.Trunc(p.Width))
+			return s.settle()
+		}
+	}
+	return fmt.Errorf("verilog: no port %s", name)
+}
+
+// Tick performs one clock cycle on the named clock: all always blocks
+// evaluate against pre-edge state, their non-blocking updates apply
+// together, and the combinational network settles.
+func (s *Sim) Tick(clock string) error {
+	type memUpd struct {
+		name string
+		idx  int
+		val  bitvec.Value
+	}
+	type netUpd struct {
+		name   string
+		hi, lo int
+		val    bitvec.Value
+	}
+	var mus []memUpd
+	var nus []netUpd
+
+	var run func(stmts []Stmt) error
+	run = func(stmts []Stmt) error {
+		for _, st := range stmts {
+			switch st := st.(type) {
+			case *NBAssign:
+				v, err := s.eval(st.RHS)
+				if err != nil {
+					return err
+				}
+				s.events++
+				switch l := st.LHS.(type) {
+				case *NetL:
+					w, _, _ := s.m.NetByName(l.Name)
+					nus = append(nus, netUpd{name: l.Name, hi: w - 1, lo: 0, val: v.Trunc(w)})
+				case *SliceL:
+					nus = append(nus, netUpd{name: l.Name, hi: l.Hi, lo: l.Lo, val: v.Trunc(l.Hi - l.Lo + 1)})
+				case *IndexL:
+					iv, err := s.eval(l.Idx)
+					if err != nil {
+						return err
+					}
+					w, depth, _ := s.m.NetByName(l.Name)
+					idx := int(iv.Uint64())
+					if depth > 0 {
+						idx %= depth
+					}
+					mus = append(mus, memUpd{name: l.Name, idx: idx, val: v.Trunc(w)})
+				}
+			case *BAssign:
+				v, err := s.eval(st.RHS)
+				if err != nil {
+					return err
+				}
+				s.events++
+				switch l := st.LHS.(type) {
+				case *NetL:
+					w, _, _ := s.m.NetByName(l.Name)
+					s.update(l.Name, v.Trunc(w))
+				case *SliceL:
+					old := s.vals[l.Name]
+					nv := old
+					sv := v.Trunc(l.Hi - l.Lo + 1)
+					for b := l.Lo; b <= l.Hi; b++ {
+						nv = nv.WithBit(b, sv.Bit(b-l.Lo))
+					}
+					s.update(l.Name, nv)
+				case *IndexL:
+					iv, err := s.eval(l.Idx)
+					if err != nil {
+						return err
+					}
+					w, depth, _ := s.m.NetByName(l.Name)
+					idx := int(iv.Uint64())
+					if depth > 0 {
+						idx %= depth
+					}
+					nv := v.Trunc(w)
+					if !s.mems[l.Name][idx].Eq(nv) {
+						s.mems[l.Name][idx] = nv
+						for _, ai := range s.fanout[l.Name] {
+							s.schedule(ai)
+						}
+					}
+				}
+			case *If:
+				c, err := s.eval(st.Cond)
+				if err != nil {
+					return err
+				}
+				body := st.Then
+				if c.IsZero() {
+					body = st.Else
+				}
+				if err := run(body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := range s.m.Always {
+		if s.m.Always[i].Clock != clock {
+			continue
+		}
+		if err := run(s.m.Always[i].Stmts); err != nil {
+			return err
+		}
+	}
+	for _, mu := range mus {
+		if !s.mems[mu.name][mu.idx].Eq(mu.val) {
+			s.mems[mu.name][mu.idx] = mu.val
+			for _, ai := range s.fanout[mu.name] {
+				s.schedule(ai)
+			}
+		}
+	}
+	for _, nu := range nus {
+		old := s.vals[nu.name]
+		nv := old
+		for b := nu.lo; b <= nu.hi; b++ {
+			nv = nv.WithBit(b, nu.val.Bit(b-nu.lo))
+		}
+		s.update(nu.name, nv)
+	}
+	return s.settle()
+}
+
+// update writes a net value and schedules its fan-out on change.
+func (s *Sim) update(name string, v bitvec.Value) {
+	old := s.vals[name]
+	if old.Eq(v) {
+		return
+	}
+	s.vals[name] = v
+	for _, ai := range s.fanout[name] {
+		s.schedule(ai)
+	}
+}
+
+func (s *Sim) schedule(i int) {
+	if !s.queued[i] {
+		s.queued[i] = true
+		s.queue = append(s.queue, i)
+	}
+}
+
+// settle evaluates scheduled continuous assignments until the network is
+// quiescent.
+func (s *Sim) settle() error {
+	const maxEvents = 1 << 22
+	n := 0
+	for len(s.queue) > 0 {
+		i := s.queue[0]
+		s.queue = s.queue[1:]
+		s.queued[i] = false
+		a := &s.m.Assigns[i]
+		v, err := s.eval(a.RHS)
+		if err != nil {
+			return err
+		}
+		s.events++
+		switch l := a.LHS.(type) {
+		case *NetL:
+			w, _, _ := s.m.NetByName(l.Name)
+			s.update(l.Name, v.Trunc(w))
+		case *SliceL:
+			old := s.vals[l.Name]
+			nv := old
+			sv := v.Trunc(l.Hi - l.Lo + 1)
+			for b := l.Lo; b <= l.Hi; b++ {
+				nv = nv.WithBit(b, sv.Bit(b-l.Lo))
+			}
+			s.update(l.Name, nv)
+		default:
+			return fmt.Errorf("verilog: continuous assignment to a memory")
+		}
+		if n++; n > maxEvents {
+			return fmt.Errorf("verilog: combinational network did not settle (loop?)")
+		}
+	}
+	return nil
+}
+
+// eval computes an expression against current net values.
+func (s *Sim) eval(e Expr) (bitvec.Value, error) {
+	switch e := e.(type) {
+	case *Const:
+		return e.Val, nil
+	case *Ref:
+		v, ok := s.vals[e.Name]
+		if !ok {
+			return bitvec.Value{}, fmt.Errorf("verilog: no net %s", e.Name)
+		}
+		return v, nil
+	case *Index:
+		iv, err := s.eval(e.Idx)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		mem, ok := s.mems[e.Name]
+		if !ok {
+			return bitvec.Value{}, fmt.Errorf("verilog: no memory %s", e.Name)
+		}
+		return mem[int(iv.Uint64())%len(mem)], nil
+	case *Slice:
+		v, err := s.eval(e.X)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		return v.Slice(e.Hi, e.Lo), nil
+	case *Unary:
+		v, err := s.eval(e.X)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		switch e.Op {
+		case "~":
+			return v.Not(), nil
+		case "-":
+			return v.Neg(), nil
+		case "!":
+			return vbool(v.IsZero()), nil
+		case "|":
+			return vbool(!v.IsZero()), nil
+		}
+	case *Binary:
+		x, err := s.eval(e.X)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		y, err := s.eval(e.Y)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		switch e.Op {
+		case "&&":
+			return vbool(!x.IsZero() && !y.IsZero()), nil
+		case "||":
+			return vbool(!x.IsZero() || !y.IsZero()), nil
+		case "<<":
+			return x.Shl(int(y.Uint64())), nil
+		case ">>":
+			return x.ShrL(int(y.Uint64())), nil
+		}
+		// Width-matched operators zero-extend the narrower operand.
+		w := x.Width()
+		if y.Width() > w {
+			w = y.Width()
+		}
+		x, y = x.ZeroExt(w), y.ZeroExt(w)
+		switch e.Op {
+		case "+":
+			return x.Add(y), nil
+		case "-":
+			return x.Sub(y), nil
+		case "*":
+			return x.Mul(y), nil
+		case "/":
+			return x.DivU(y), nil
+		case "%":
+			return x.ModU(y), nil
+		case "&":
+			return x.And(y), nil
+		case "|":
+			return x.Or(y), nil
+		case "^":
+			return x.Xor(y), nil
+		case "==":
+			return vbool(x.Eq(y)), nil
+		case "!=":
+			return vbool(!x.Eq(y)), nil
+		case "<":
+			return vbool(x.CmpU(y) < 0), nil
+		case "<=":
+			return vbool(x.CmpU(y) <= 0), nil
+		case ">":
+			return vbool(x.CmpU(y) > 0), nil
+		case ">=":
+			return vbool(x.CmpU(y) >= 0), nil
+		}
+	case *Ternary:
+		c, err := s.eval(e.C)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		pick := e.A
+		if c.IsZero() {
+			pick = e.B
+		}
+		v, err := s.eval(pick)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		return v.ZeroExt(e.W), nil
+	case *ConcatE:
+		var v bitvec.Value
+		for i, part := range e.Parts {
+			pv, err := s.eval(part)
+			if err != nil {
+				return bitvec.Value{}, err
+			}
+			if i == 0 {
+				v = pv
+			} else {
+				v = v.Concat(pv)
+			}
+		}
+		return v, nil
+	}
+	return bitvec.Value{}, fmt.Errorf("verilog: cannot evaluate expression")
+}
+
+func vbool(b bool) bitvec.Value {
+	if b {
+		return bitvec.FromUint64(1, 1)
+	}
+	return bitvec.New(1)
+}
+
+// exprDeps accumulates the nets an expression reads.
+func exprDeps(e Expr, out []string) []string {
+	switch e := e.(type) {
+	case *Ref:
+		out = append(out, e.Name)
+	case *Index:
+		out = append(out, e.Name)
+		out = exprDeps(e.Idx, out)
+	case *Slice:
+		out = exprDeps(e.X, out)
+	case *Unary:
+		out = exprDeps(e.X, out)
+	case *Binary:
+		out = exprDeps(e.X, exprDeps(e.Y, out))
+	case *Ternary:
+		out = exprDeps(e.C, exprDeps(e.A, exprDeps(e.B, out)))
+	case *ConcatE:
+		for _, p := range e.Parts {
+			out = exprDeps(p, out)
+		}
+	}
+	return out
+}

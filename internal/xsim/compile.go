@@ -1,0 +1,357 @@
+package xsim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/isdl"
+)
+
+func sprintf(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+// The compiled processing core. The paper's GENSIM emits architecture-
+// specific C that is natively compiled and linked with a common library
+// (§3.3); the closest Go analogue is compiling every decoded operation
+// instance into a tree of closures at load time, with parameter values,
+// storage handles and operator selection all resolved once. This is the
+// default core; the AST interpreter in eval.go remains as the reference
+// implementation (the two are cross-checked by tests), and §6.2's
+// "compiled-code simulator" speedup is measurable by flipping
+// Simulator.CompiledCore (part of the Table 1 benchmark).
+//
+// Runtime faults (stack overflow/underflow) are rare, so compiled code
+// reports them by panicking with *RuntimeError; Step recovers.
+
+// valFn computes one RTL expression value.
+type valFn func() bitvec.Value
+
+// locFn resolves one write destination.
+type locFn func() loc
+
+// stmtFn evaluates statements of one phase into ph.
+type stmtFn func(ph *phase)
+
+// compileOp compiles both phases of a decoded operation instance.
+func compileOp(opEnv *env) (action, side stmtFn) {
+	c := &compiler{env: opEnv}
+	op := envOp(opEnv)
+	action = c.stmts(op.Action)
+	side = c.stmts(op.SideEffect)
+	// Non-terminal option side effects run after the operation's own.
+	var optFns []stmtFn
+	var collect func(e *env)
+	collect = func(e *env) {
+		for _, sub := range e.ordered {
+			sc := &compiler{env: sub}
+			optFns = append(optFns, sc.stmts(sub.option.SideEffect))
+			collect(sub)
+		}
+	}
+	collect(opEnv)
+	if len(optFns) > 0 {
+		base := side
+		side = func(ph *phase) {
+			base(ph)
+			for _, f := range optFns {
+				f(ph)
+			}
+		}
+	}
+	return action, side
+}
+
+// envOp retrieves the operation this environment was built for; set by
+// fetch (compileOp is only called on op-level environments).
+func envOp(e *env) *isdl.Operation { return e.op }
+
+type compiler struct {
+	env *env
+}
+
+func (c *compiler) fault(format string, args ...interface{}) {
+	panicRuntime(c.env.sim, format, args...)
+}
+
+func panicRuntime(sim *Simulator, format string, args ...interface{}) {
+	panic(&RuntimeError{PC: sim.currentPC, Msg: sprintf(format, args...)})
+}
+
+func (c *compiler) stmts(stmts []isdl.Stmt) stmtFn {
+	fns := make([]stmtFn, 0, len(stmts))
+	for _, s := range stmts {
+		fns = append(fns, c.stmt(s))
+	}
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func(ph *phase) {
+		for _, f := range fns {
+			f(ph)
+		}
+	}
+}
+
+func (c *compiler) stmt(s isdl.Stmt) stmtFn {
+	switch s := s.(type) {
+	case *isdl.Assign:
+		rhs := c.expr(s.RHS)
+		dst := c.loc(s.LHS)
+		return func(ph *phase) {
+			v := rhs()
+			l := dst()
+			ph.writes = append(ph.writes, write{loc: l, val: v})
+		}
+	case *isdl.If:
+		cond := c.expr(s.Cond)
+		then := c.stmts(s.Then)
+		var els stmtFn
+		if len(s.Else) > 0 {
+			els = c.stmts(s.Else)
+		}
+		return func(ph *phase) {
+			if !cond().IsZero() {
+				then(ph)
+			} else if els != nil {
+				els(ph)
+			}
+		}
+	case *isdl.ExprStmt:
+		call := s.X.(*isdl.Call)
+		switch call.Fn {
+		case "push":
+			stack := call.Args[0].(*isdl.Ref).Name
+			val := c.expr(call.Args[1])
+			return func(ph *phase) {
+				ph.pushes = append(ph.pushes, pushOp{stack: stack, val: val()})
+			}
+		case "pop":
+			f := c.expr(call)
+			return func(ph *phase) { f() }
+		}
+	}
+	sim := c.env.sim
+	return func(*phase) { panicRuntime(sim, "unknown statement") }
+}
+
+func (c *compiler) loc(e isdl.Expr) locFn {
+	sim := c.env.sim
+	switch e := e.(type) {
+	case *isdl.Ref:
+		switch {
+		case e.Storage != nil:
+			l := loc{storage: e.Storage.Name, index: 0, hi: -1, lo: -1, h: sim.handles[e.Storage]}
+			return func() loc { return l }
+		case e.AliasTo != nil:
+			a := e.AliasTo
+			l := loc{storage: a.Target, index: int(a.Index), hi: -1, lo: -1, h: sim.aliasH[a]}
+			if a.Sliced {
+				l.hi, l.lo = a.Hi, a.Lo
+			}
+			return func() loc { return l }
+		case e.Param != nil && e.Param.NT != nil:
+			sub := c.env.subEnv(e.Param.Name)
+			sc := &compiler{env: sub}
+			return sc.loc(sub.option.Value)
+		}
+	case *isdl.Index:
+		idx := c.expr(e.Idx)
+		name := e.Storage.Name
+		h := sim.handles[e.Storage]
+		return func() loc {
+			return loc{storage: name, index: int(idx().Uint64()), hi: -1, lo: -1, h: h}
+		}
+	case *isdl.SliceE:
+		base := c.loc(e.X)
+		hi, lo := e.Hi, e.Lo
+		return func() loc {
+			l := base()
+			if l.hi >= 0 {
+				return loc{storage: l.storage, index: l.index, hi: l.lo + hi, lo: l.lo + lo, h: l.h}
+			}
+			l.hi, l.lo = hi, lo
+			return l
+		}
+	}
+	return func() loc { panicRuntime(sim, "%s is not assignable", e); return loc{} }
+}
+
+func (c *compiler) expr(e isdl.Expr) valFn {
+	sim := c.env.sim
+	switch e := e.(type) {
+	case *isdl.Lit:
+		v := e.Val
+		return func() bitvec.Value { return v }
+
+	case *isdl.Ref:
+		switch {
+		case e.Storage != nil:
+			h := sim.handles[e.Storage]
+			return func() bitvec.Value { sim.stats.Reads++; return h.Get(0) }
+		case e.AliasTo != nil:
+			a := e.AliasTo
+			h := sim.aliasH[a]
+			idx := int(a.Index)
+			if a.Sliced {
+				hi, lo := a.Hi, a.Lo
+				return func() bitvec.Value { sim.stats.Reads++; return h.Get(idx).Slice(hi, lo) }
+			}
+			return func() bitvec.Value { sim.stats.Reads++; return h.Get(idx) }
+		case e.Param != nil:
+			arg := c.env.args[e.Param.Name]
+			if e.Param.Token != nil {
+				v := arg.Value
+				return func() bitvec.Value { return v }
+			}
+			sub := c.env.subEnv(e.Param.Name)
+			sc := &compiler{env: sub}
+			return sc.expr(sub.option.Value)
+		}
+
+	case *isdl.Index:
+		idx := c.expr(e.Idx)
+		h := sim.handles[e.Storage]
+		return func() bitvec.Value { sim.stats.Reads++; return h.Get(int(idx().Uint64())) }
+
+	case *isdl.SliceE:
+		x := c.expr(e.X)
+		hi, lo := e.Hi, e.Lo
+		return func() bitvec.Value { return x().Slice(hi, lo) }
+
+	case *isdl.Unary:
+		x := c.expr(e.X)
+		switch e.Op {
+		case "-":
+			return func() bitvec.Value { return x().Neg() }
+		case "~":
+			return func() bitvec.Value { return x().Not() }
+		case "!":
+			return func() bitvec.Value { return boolVal(x().IsZero()) }
+		}
+
+	case *isdl.Binary:
+		x := c.expr(e.X)
+		// Short-circuit logical operators.
+		switch e.Op {
+		case "&&":
+			y := c.expr(e.Y)
+			return func() bitvec.Value { return boolVal(!x().IsZero() && !y().IsZero()) }
+		case "||":
+			y := c.expr(e.Y)
+			return func() bitvec.Value { return boolVal(!x().IsZero() || !y().IsZero()) }
+		}
+		y := c.expr(e.Y)
+		switch e.Op {
+		case "+":
+			return func() bitvec.Value { return x().Add(y()) }
+		case "-":
+			return func() bitvec.Value { return x().Sub(y()) }
+		case "*":
+			return func() bitvec.Value { return x().Mul(y()) }
+		case "/":
+			return func() bitvec.Value { return x().DivU(y()) }
+		case "%":
+			return func() bitvec.Value { return x().ModU(y()) }
+		case "&":
+			return func() bitvec.Value { return x().And(y()) }
+		case "|":
+			return func() bitvec.Value { return x().Or(y()) }
+		case "^":
+			return func() bitvec.Value { return x().Xor(y()) }
+		case "<<":
+			return func() bitvec.Value { return x().Shl(int(y().Uint64())) }
+		case ">>":
+			return func() bitvec.Value { return x().ShrL(int(y().Uint64())) }
+		case "==":
+			return func() bitvec.Value { return boolVal(x().Eq(y())) }
+		case "!=":
+			return func() bitvec.Value { return boolVal(!x().Eq(y())) }
+		case "<":
+			return func() bitvec.Value { return boolVal(x().CmpU(y()) < 0) }
+		case "<=":
+			return func() bitvec.Value { return boolVal(x().CmpU(y()) <= 0) }
+		case ">":
+			return func() bitvec.Value { return boolVal(x().CmpU(y()) > 0) }
+		case ">=":
+			return func() bitvec.Value { return boolVal(x().CmpU(y()) >= 0) }
+		}
+
+	case *isdl.Call:
+		return c.call(e)
+	}
+	return func() bitvec.Value { panicRuntime(sim, "cannot compile expression"); return bitvec.Value{} }
+}
+
+func (c *compiler) call(e *isdl.Call) valFn {
+	sim := c.env.sim
+	switch e.Fn {
+	case "pop":
+		name := e.Args[0].(*isdl.Ref).Name
+		return func() bitvec.Value {
+			v, err := sim.st.Pop(name)
+			if err != nil {
+				panicRuntime(sim, "%s", err.Error())
+			}
+			return v
+		}
+	case "sext":
+		x := c.expr(e.Args[0])
+		w := e.W
+		return func() bitvec.Value { return x().SignExt(w) }
+	case "zext":
+		x := c.expr(e.Args[0])
+		w := e.W
+		return func() bitvec.Value { return x().ZeroExt(w) }
+	case "trunc":
+		x := c.expr(e.Args[0])
+		w := e.W
+		return func() bitvec.Value { return x().Trunc(w) }
+	case "carry":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { _, cy := x().AddCarry(y()); return boolVal(cy) }
+	case "borrow":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { _, b := x().SubBorrow(y()); return boolVal(b) }
+	case "addov":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value {
+			a, b := x(), y()
+			s := a.Add(b)
+			return boolVal(a.Sign() == b.Sign() && s.Sign() != a.Sign())
+		}
+	case "subov":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value {
+			a, b := x(), y()
+			s := a.Sub(b)
+			return boolVal(a.Sign() != b.Sign() && s.Sign() != a.Sign())
+		}
+	case "slt":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { return boolVal(x().CmpS(y()) < 0) }
+	case "sle":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { return boolVal(x().CmpS(y()) <= 0) }
+	case "sgt":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { return boolVal(x().CmpS(y()) > 0) }
+	case "sge":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { return boolVal(x().CmpS(y()) >= 0) }
+	case "asr":
+		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
+		return func() bitvec.Value { return x().ShrA(int(y().Uint64())) }
+	case "concat":
+		fns := make([]valFn, len(e.Args))
+		for i := range e.Args {
+			fns[i] = c.expr(e.Args[i])
+		}
+		return func() bitvec.Value {
+			v := fns[0]()
+			for _, f := range fns[1:] {
+				v = v.Concat(f())
+			}
+			return v
+		}
+	}
+	return func() bitvec.Value { panicRuntime(sim, "unknown builtin %s", e.Fn); return bitvec.Value{} }
+}

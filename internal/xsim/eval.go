@@ -1,0 +1,428 @@
+package xsim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/decode"
+	"repro/internal/isdl"
+	"repro/internal/state"
+)
+
+// This file interprets the RTL of decoded operations against processor
+// state. It implements the two-phase evaluation of §3.3.3: every statement
+// of a phase reads the pre-phase state ("all RTL statements read their input
+// values before any RTL statement writes its results"), writes are collected
+// into temporary storage, and the caller commits them afterwards — possibly
+// delayed by the operation's Latency.
+
+// env binds the parameters of one operation or option instance. Environments
+// are built once per decoded instruction (load-time disassembly) and reused
+// every execution; sub-environments for non-terminal arguments are prebuilt
+// recursively.
+type env struct {
+	sim  *Simulator
+	args map[string]*decode.Arg
+	subs map[string]*env
+	// ordered lists the non-terminal sub-environments in parameter
+	// declaration order, for deterministic side-effect evaluation; option
+	// is the decoded option this environment belongs to (nil at op level).
+	ordered []*env
+	option  *isdl.Option
+	// op is set on operation-level environments (used by the compiled
+	// core).
+	op *isdl.Operation
+}
+
+func newEnv(sim *Simulator, params []*isdl.Param, args []decode.Arg) *env {
+	e := &env{sim: sim, args: make(map[string]*decode.Arg, len(params))}
+	for i := range params {
+		e.args[params[i].Name] = &args[i]
+		if args[i].Option != nil {
+			if e.subs == nil {
+				e.subs = map[string]*env{}
+			}
+			sub := newEnv(sim, args[i].Option.Params, args[i].Sub)
+			sub.option = args[i].Option
+			e.subs[params[i].Name] = sub
+			e.ordered = append(e.ordered, sub)
+		}
+	}
+	return e
+}
+
+// subEnv returns the prebuilt environment of a non-terminal parameter.
+func (ev *env) subEnv(name string) *env { return ev.subs[name] }
+
+// loc is a write destination: a bit range of one storage location. h is a
+// resolved handle when the write came from the evaluator (zero in read-set
+// entries, which are only compared field-wise).
+type loc struct {
+	storage string
+	index   int
+	hi, lo  int // -1,-1 = whole element
+	h       state.Handle
+}
+
+func (l loc) String() string {
+	if l.hi >= 0 {
+		return fmt.Sprintf("%s[%d][%d:%d]", l.storage, l.index, l.hi, l.lo)
+	}
+	return fmt.Sprintf("%s[%d]", l.storage, l.index)
+}
+
+// write is one collected state update.
+type write struct {
+	loc loc
+	val bitvec.Value
+}
+
+// pushOp is a deferred stack push (applied in the write half of a phase).
+type pushOp struct {
+	stack string
+	val   bitvec.Value
+}
+
+// phase collects the effects of evaluating one phase's statements.
+type phase struct {
+	writes []write
+	pushes []pushOp
+}
+
+// RuntimeError is a simulation fault (stack overflow, malformed RTL); it
+// halts the simulator.
+type RuntimeError struct {
+	PC  int
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("runtime error at %#x: %s", e.PC, e.Msg) }
+
+func (ev *env) fault(format string, args ...interface{}) error {
+	return &RuntimeError{PC: ev.sim.currentPC, Msg: fmt.Sprintf(format, args...)}
+}
+
+// execStmts evaluates statements into ph (reads against current state).
+func (ev *env) execStmts(stmts []isdl.Stmt, ph *phase) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *isdl.Assign:
+			v, err := ev.eval(s.RHS)
+			if err != nil {
+				return err
+			}
+			l, err := ev.evalLoc(s.LHS)
+			if err != nil {
+				return err
+			}
+			ph.writes = append(ph.writes, write{loc: l, val: v})
+		case *isdl.If:
+			c, err := ev.eval(s.Cond)
+			if err != nil {
+				return err
+			}
+			body := s.Then
+			if c.IsZero() {
+				body = s.Else
+			}
+			if err := ev.execStmts(body, ph); err != nil {
+				return err
+			}
+		case *isdl.ExprStmt:
+			call := s.X.(*isdl.Call)
+			switch call.Fn {
+			case "push":
+				v, err := ev.eval(call.Args[1])
+				if err != nil {
+					return err
+				}
+				ph.pushes = append(ph.pushes, pushOp{stack: call.Args[0].(*isdl.Ref).Name, val: v})
+			case "pop":
+				if _, err := ev.eval(call); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// commit applies the collected writes of a phase. Statements later in the
+// phase override earlier ones on the same bits, matching the sequential
+// write-back of the generated simulators.
+func (sim *Simulator) commit(ph *phase) error {
+	for _, w := range ph.writes {
+		sim.applyWrite(w)
+	}
+	for _, p := range ph.pushes {
+		if err := sim.st.Push(p.stack, p.val); err != nil {
+			return &RuntimeError{PC: sim.currentPC, Msg: err.Error()}
+		}
+	}
+	return nil
+}
+
+func (sim *Simulator) applyWrite(w write) {
+	h := w.loc.h
+	if !h.Valid() {
+		h, _ = sim.st.Handle(w.loc.storage)
+	}
+	if w.loc.hi >= 0 {
+		h.SetBits(w.loc.index, w.loc.hi, w.loc.lo, w.val)
+	} else {
+		h.Set(w.loc.index, w.val)
+	}
+	sim.stats.Writes++
+}
+
+// evalLoc resolves an lvalue expression to a concrete write destination,
+// evaluating any index expressions against pre-phase state.
+func (ev *env) evalLoc(e isdl.Expr) (loc, error) {
+	switch e := e.(type) {
+	case *isdl.Ref:
+		switch {
+		case e.Storage != nil:
+			return loc{storage: e.Storage.Name, index: 0, hi: -1, lo: -1, h: ev.sim.handles[e.Storage]}, nil
+		case e.AliasTo != nil:
+			a := e.AliasTo
+			l := loc{storage: a.Target, index: int(a.Index), hi: -1, lo: -1, h: ev.sim.aliasH[a]}
+			if a.Sliced {
+				l.hi, l.lo = a.Hi, a.Lo
+			}
+			return l, nil
+		case e.Param != nil:
+			arg := ev.args[e.Param.Name]
+			return ev.subEnv(e.Param.Name).evalLoc(arg.Option.Value)
+		}
+	case *isdl.Index:
+		idx, err := ev.eval(e.Idx)
+		if err != nil {
+			return loc{}, err
+		}
+		return loc{storage: e.Storage.Name, index: int(idx.Uint64()), hi: -1, lo: -1, h: ev.sim.handles[e.Storage]}, nil
+	case *isdl.SliceE:
+		base, err := ev.evalLoc(e.X)
+		if err != nil {
+			return loc{}, err
+		}
+		if base.hi >= 0 {
+			// Slice of a slice: offsets compose.
+			return loc{storage: base.storage, index: base.index, hi: base.lo + e.Hi, lo: base.lo + e.Lo}, nil
+		}
+		base.hi, base.lo = e.Hi, e.Lo
+		return base, nil
+	}
+	return loc{}, ev.fault("%s is not assignable", e)
+}
+
+// eval computes the value of an RTL expression against current state.
+func (ev *env) eval(e isdl.Expr) (bitvec.Value, error) {
+	switch e := e.(type) {
+	case *isdl.Lit:
+		return e.Val, nil
+
+	case *isdl.Ref:
+		switch {
+		case e.Storage != nil:
+			ev.sim.stats.Reads++
+			return ev.sim.handles[e.Storage].Get(0), nil
+		case e.AliasTo != nil:
+			a := e.AliasTo
+			ev.sim.stats.Reads++
+			v := ev.sim.aliasH[a].Get(int(a.Index))
+			if a.Sliced {
+				v = v.Slice(a.Hi, a.Lo)
+			}
+			return v, nil
+		case e.Param != nil:
+			arg := ev.args[e.Param.Name]
+			if e.Param.Token != nil {
+				return arg.Value, nil
+			}
+			return ev.subEnv(e.Param.Name).eval(arg.Option.Value)
+		}
+		return bitvec.Value{}, ev.fault("unresolved reference %s", e.Name)
+
+	case *isdl.Index:
+		idx, err := ev.eval(e.Idx)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		ev.sim.stats.Reads++
+		return ev.sim.handles[e.Storage].Get(int(idx.Uint64())), nil
+
+	case *isdl.SliceE:
+		v, err := ev.eval(e.X)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		return v.Slice(e.Hi, e.Lo), nil
+
+	case *isdl.Unary:
+		v, err := ev.eval(e.X)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		switch e.Op {
+		case "-":
+			return v.Neg(), nil
+		case "~":
+			return v.Not(), nil
+		case "!":
+			return boolVal(v.IsZero()), nil
+		}
+
+	case *isdl.Binary:
+		x, err := ev.eval(e.X)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		// Short-circuit logical operators.
+		switch e.Op {
+		case "&&":
+			if x.IsZero() {
+				return boolVal(false), nil
+			}
+			y, err := ev.eval(e.Y)
+			if err != nil {
+				return bitvec.Value{}, err
+			}
+			return boolVal(!y.IsZero()), nil
+		case "||":
+			if !x.IsZero() {
+				return boolVal(true), nil
+			}
+			y, err := ev.eval(e.Y)
+			if err != nil {
+				return bitvec.Value{}, err
+			}
+			return boolVal(!y.IsZero()), nil
+		}
+		y, err := ev.eval(e.Y)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		return evalBinary(e.Op, x, y)
+
+	case *isdl.Call:
+		return ev.evalCall(e)
+	}
+	return bitvec.Value{}, ev.fault("cannot evaluate %s", e)
+}
+
+func boolVal(b bool) bitvec.Value {
+	if b {
+		return bitvec.FromUint64(1, 1)
+	}
+	return bitvec.New(1)
+}
+
+func evalBinary(op string, x, y bitvec.Value) (bitvec.Value, error) {
+	switch op {
+	case "+":
+		return x.Add(y), nil
+	case "-":
+		return x.Sub(y), nil
+	case "*":
+		return x.Mul(y), nil
+	case "/":
+		return x.DivU(y), nil
+	case "%":
+		return x.ModU(y), nil
+	case "&":
+		return x.And(y), nil
+	case "|":
+		return x.Or(y), nil
+	case "^":
+		return x.Xor(y), nil
+	case "<<":
+		return x.Shl(int(y.Uint64())), nil
+	case ">>":
+		return x.ShrL(int(y.Uint64())), nil
+	case "==":
+		return boolVal(x.Eq(y)), nil
+	case "!=":
+		return boolVal(!x.Eq(y)), nil
+	case "<":
+		return boolVal(x.CmpU(y) < 0), nil
+	case "<=":
+		return boolVal(x.CmpU(y) <= 0), nil
+	case ">":
+		return boolVal(x.CmpU(y) > 0), nil
+	case ">=":
+		return boolVal(x.CmpU(y) >= 0), nil
+	}
+	return bitvec.Value{}, fmt.Errorf("unknown operator %q", op)
+}
+
+func (ev *env) evalCall(e *isdl.Call) (bitvec.Value, error) {
+	// push/pop touch the stack; the rest are pure.
+	switch e.Fn {
+	case "pop":
+		name := e.Args[0].(*isdl.Ref).Name
+		v, err := ev.sim.st.Pop(name)
+		if err != nil {
+			return bitvec.Value{}, &RuntimeError{PC: ev.sim.currentPC, Msg: err.Error()}
+		}
+		return v, nil
+	case "push":
+		return bitvec.Value{}, ev.fault("push used as a value")
+	}
+
+	var argBuf [4]bitvec.Value
+	var args []bitvec.Value
+	if len(e.Args) <= len(argBuf) {
+		args = argBuf[:len(e.Args)]
+	} else {
+		args = make([]bitvec.Value, len(e.Args))
+	}
+	for i, a := range e.Args {
+		// Width arguments of sext/zext/trunc are unsized literals carrying
+		// the target width; skip evaluating them.
+		if i == 1 && (e.Fn == "sext" || e.Fn == "zext" || e.Fn == "trunc") {
+			continue
+		}
+		v, err := ev.eval(a)
+		if err != nil {
+			return bitvec.Value{}, err
+		}
+		args[i] = v
+	}
+	switch e.Fn {
+	case "sext":
+		return args[0].SignExt(e.W), nil
+	case "zext":
+		return args[0].ZeroExt(e.W), nil
+	case "trunc":
+		return args[0].Trunc(e.W), nil
+	case "carry":
+		_, c := args[0].AddCarry(args[1])
+		return boolVal(c), nil
+	case "borrow":
+		_, b := args[0].SubBorrow(args[1])
+		return boolVal(b), nil
+	case "addov":
+		s := args[0].Add(args[1])
+		return boolVal(args[0].Sign() == args[1].Sign() && s.Sign() != args[0].Sign()), nil
+	case "subov":
+		s := args[0].Sub(args[1])
+		return boolVal(args[0].Sign() != args[1].Sign() && s.Sign() != args[0].Sign()), nil
+	case "slt":
+		return boolVal(args[0].CmpS(args[1]) < 0), nil
+	case "sle":
+		return boolVal(args[0].CmpS(args[1]) <= 0), nil
+	case "sgt":
+		return boolVal(args[0].CmpS(args[1]) > 0), nil
+	case "sge":
+		return boolVal(args[0].CmpS(args[1]) >= 0), nil
+	case "asr":
+		return args[0].ShrA(int(args[1].Uint64())), nil
+	case "concat":
+		v := args[0]
+		for _, a := range args[1:] {
+			v = v.Concat(a)
+		}
+		return v, nil
+	}
+	return bitvec.Value{}, ev.fault("unknown builtin %s", e.Fn)
+}

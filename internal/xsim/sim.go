@@ -1,0 +1,613 @@
+// Package xsim is the instruction-level simulator of the paper's GENSIM
+// system (§3): cycle-accurate and bit-true by construction. Where the
+// original emitted C source per architecture and linked it against a common
+// library, this implementation instantiates a simulator directly from the
+// parsed ISDL description; the structure (Figure 2) is the same — scheduler,
+// state, state monitors, off-line disassembly at load time, and a processing
+// core interpreting the RTL of each operation.
+//
+// Cycle accounting follows §3.3.3. There is no explicit pipeline model.
+// Each instruction issues at the earliest cycle that satisfies:
+//
+//   - every field's functional unit is free (the Usage timing parameter),
+//   - no pending latency-delayed write-back targets a location the
+//     instruction reads (the Latency timing parameter); the bubbles inserted
+//     are the stall cycles the paper computes from the static instruction
+//     stream, realized here as an interlock at issue time so they are also
+//     exact around branches.
+//
+// A write by an operation with Latency L issued at cycle t commits at the
+// end of cycle t+L−1 and is visible to instructions issuing at t+L or later.
+// Writes to the program counter always take effect immediately (control
+// flow has no write-back latency). Disabling the stall model (ablation C)
+// issues back-to-back and lets consumers read stale values, which is what
+// interlock-free hardware would do.
+package xsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/bitvec"
+	"repro/internal/decode"
+	"repro/internal/isdl"
+	"repro/internal/state"
+)
+
+// Stats are the utilization statistics the evaluation loop of Figure 1
+// feeds back into architecture improvement.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	DataStalls   uint64
+	StructStalls uint64
+	Reads        uint64
+	Writes       uint64
+	// OpCounts counts executed operations by qualified name.
+	OpCounts map[string]uint64
+	// FieldIssue counts, per field, the instructions whose slot held an
+	// operation with architectural effect (a non-empty action) — the
+	// functional-unit utilization measure.
+	FieldIssue []uint64
+}
+
+// Utilization returns each field's busy fraction over the executed
+// instructions.
+func (s *Stats) Utilization() []float64 {
+	out := make([]float64, len(s.FieldIssue))
+	if s.Instructions == 0 {
+		return out
+	}
+	for i, n := range s.FieldIssue {
+		out[i] = float64(n) / float64(s.Instructions)
+	}
+	return out
+}
+
+// Summary renders the statistics as text.
+func (s *Stats) Summary(d *isdl.Description) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles:        %d\n", s.Cycles)
+	fmt.Fprintf(&sb, "instructions:  %d\n", s.Instructions)
+	fmt.Fprintf(&sb, "data stalls:   %d\n", s.DataStalls)
+	fmt.Fprintf(&sb, "struct stalls: %d\n", s.StructStalls)
+	fmt.Fprintf(&sb, "state reads:   %d\n", s.Reads)
+	fmt.Fprintf(&sb, "state writes:  %d\n", s.Writes)
+	util := s.Utilization()
+	for i, f := range d.Fields {
+		fmt.Fprintf(&sb, "field %-12s utilization %5.1f%%\n", f.Name, util[i]*100)
+	}
+	names := make([]string, 0, len(s.OpCounts))
+	for n := range s.OpCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-20s %d\n", n, s.OpCounts[n])
+	}
+	return sb.String()
+}
+
+// pendingWrite is a latency-delayed write-back.
+type pendingWrite struct {
+	w        write
+	commitAt uint64 // end of this cycle; visible to issues > commitAt
+}
+
+// opInfo is the pre-bound execution record for one operation instance,
+// produced by the load-time disassembly.
+type opInfo struct {
+	dop     *decode.Op
+	env     *env
+	latency int
+	usage   int
+	cycle   int
+	reads   []loc
+	active  bool // has architectural effect (non-empty action/side effect)
+	// count is the cached execution counter for this operation (avoids a
+	// per-step string-keyed map update).
+	count *uint64
+	// Compiled-core phase functions (nil when running the interpreter).
+	actionFn stmtFn
+	sideFn   stmtFn
+}
+
+// instInfo is one decoded, pre-analyzed instruction.
+type instInfo struct {
+	inst  *decode.Inst
+	ops   []opInfo
+	cycle int // instruction cycles: max over operations
+}
+
+// ErrBreakpoint is returned by Run when it stops at a breakpoint.
+var ErrBreakpoint = errors.New("xsim: breakpoint")
+
+// Simulator is one XSIM simulator instance.
+type Simulator struct {
+	d  *isdl.Description
+	st *state.State
+
+	cache      map[int]*instInfo
+	opCounters map[*isdl.Operation]*uint64
+	phaseBuf   []phase
+	// handles bypass name lookup on the hot path; resolved once at
+	// construction (they stay valid across Reset).
+	handles   map[*isdl.Storage]state.Handle
+	aliasH    map[*isdl.Alias]state.Handle
+	pcH       state.Handle
+	imH       state.Handle
+	pcName    string
+	imName    string
+	haltName  string // storage that halts the machine when non-zero
+	currentPC int
+
+	cycle       uint64
+	fieldFreeAt []uint64
+	pending     []pendingWrite
+	halted      bool
+	stopErr     error
+
+	breakpoints map[int]bool
+	trace       io.Writer
+	stats       Stats
+
+	// StallModel enables the latency/usage interlock (§3.3.3); disabling
+	// it is ablation C.
+	StallModel bool
+	// CompiledCore selects the closure-compiled processing core (the
+	// analogue of GENSIM's generated, natively compiled C — and the §6.2
+	// compiled-code direction). Disabling it runs the AST interpreter;
+	// the two are equivalent (cross-checked by tests). Changing the flag
+	// takes effect for instructions decoded afterwards (call Reset).
+	CompiledCore bool
+}
+
+// New builds a simulator for a description. A storage named "HLT" (any
+// kind), when present, halts the machine when it becomes non-zero; use
+// SetHaltStorage to choose a different one.
+func New(d *isdl.Description) *Simulator {
+	sim := &Simulator{
+		d:            d,
+		st:           state.New(d),
+		cache:        map[int]*instInfo{},
+		opCounters:   map[*isdl.Operation]*uint64{},
+		phaseBuf:     make([]phase, len(d.Fields)),
+		pcName:       d.PC().Name,
+		imName:       d.InstructionMemory().Name,
+		fieldFreeAt:  make([]uint64, len(d.Fields)),
+		breakpoints:  map[int]bool{},
+		StallModel:   true,
+		CompiledCore: true,
+	}
+	sim.stats.OpCounts = map[string]uint64{}
+	sim.stats.FieldIssue = make([]uint64, len(d.Fields))
+	sim.handles = make(map[*isdl.Storage]state.Handle, len(d.Storage))
+	for _, st := range d.Storage {
+		h, _ := sim.st.Handle(st.Name)
+		sim.handles[st] = h
+	}
+	sim.aliasH = make(map[*isdl.Alias]state.Handle, len(d.Aliases))
+	for _, a := range d.Aliases {
+		h, _ := sim.st.Handle(a.Target)
+		sim.aliasH[a] = h
+	}
+	sim.pcH = sim.handles[d.PC()]
+	sim.imH = sim.handles[d.InstructionMemory()]
+	if _, ok := d.StorageByName["HLT"]; ok {
+		sim.haltName = "HLT"
+	}
+	// Self-modifying writes invalidate the load-time decode of the
+	// affected address.
+	if _, err := sim.st.Watch(sim.imName, -1, func(ev state.ChangeEvent) {
+		delete(sim.cache, ev.Index)
+	}); err != nil {
+		panic("xsim: " + err.Error())
+	}
+	return sim
+}
+
+// State exposes the simulated processor state (for examine/set commands and
+// the co-simulation tests).
+func (sim *Simulator) State() *state.State { return sim.st }
+
+// Description returns the machine description.
+func (sim *Simulator) Description() *isdl.Description { return sim.d }
+
+// Stats returns the utilization statistics gathered so far.
+func (sim *Simulator) Stats() *Stats {
+	// Per-operation counts are kept in cached counters on the hot path;
+	// materialize the map view here.
+	for op, c := range sim.opCounters {
+		sim.stats.OpCounts[op.QualName()] = *c
+	}
+	return &sim.stats
+}
+
+// Cycle returns the current cycle count.
+func (sim *Simulator) Cycle() uint64 { return sim.cycle }
+
+// Halted reports whether the machine has stopped (halt storage or error).
+func (sim *Simulator) Halted() bool { return sim.halted }
+
+// Err returns the error that halted the machine, if any.
+func (sim *Simulator) Err() error { return sim.stopErr }
+
+// SetHaltStorage selects the storage whose non-zero value halts the machine.
+func (sim *Simulator) SetHaltStorage(name string) error {
+	if _, ok := sim.d.StorageByName[name]; !ok {
+		return fmt.Errorf("xsim: unknown storage %s", name)
+	}
+	sim.haltName = name
+	return nil
+}
+
+// SetTrace directs the execution address trace (§3.1) to w; nil disables it.
+func (sim *Simulator) SetTrace(w io.Writer) { sim.trace = w }
+
+// AddBreakpoint sets a breakpoint at an instruction address.
+func (sim *Simulator) AddBreakpoint(addr int) { sim.breakpoints[addr] = true }
+
+// RemoveBreakpoint clears a breakpoint; it reports whether one existed.
+func (sim *Simulator) RemoveBreakpoint(addr int) bool {
+	ok := sim.breakpoints[addr]
+	delete(sim.breakpoints, addr)
+	return ok
+}
+
+// Breakpoints lists the breakpoint addresses in order.
+func (sim *Simulator) Breakpoints() []int {
+	out := make([]int, 0, len(sim.breakpoints))
+	for a := range sim.breakpoints {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Load loads an assembled program: instruction memory, data initializers,
+// and the PC set to the load base (or the "start"/"main" symbol if
+// defined). It resets machine state but keeps monitors and breakpoints.
+func (sim *Simulator) Load(p *asm.Program) error {
+	sim.Reset()
+	if err := sim.st.LoadProgram(p.Base, p.Words); err != nil {
+		return err
+	}
+	for _, di := range p.Data {
+		if err := sim.st.LoadData(di.Storage, di.Base, di.Values); err != nil {
+			return err
+		}
+	}
+	entry := p.Base
+	for _, s := range []string{"start", "main"} {
+		if a, ok := p.Symbols[s]; ok {
+			entry = a
+			break
+		}
+	}
+	sim.st.SetPC(bitvec.FromUint64(sim.d.PC().Width, uint64(entry)))
+	return nil
+}
+
+// Reset clears machine state, statistics and the decode cache.
+func (sim *Simulator) Reset() {
+	sim.st.Reset()
+	sim.cache = map[int]*instInfo{}
+	sim.opCounters = map[*isdl.Operation]*uint64{}
+	sim.cycle = 0
+	sim.pending = sim.pending[:0]
+	for i := range sim.fieldFreeAt {
+		sim.fieldFreeAt[i] = 0
+	}
+	sim.halted = false
+	sim.stopErr = nil
+	sim.stats = Stats{OpCounts: map[string]uint64{}, FieldIssue: make([]uint64, len(sim.d.Fields))}
+}
+
+// fetch returns the pre-analyzed instruction at pc, decoding on first use
+// (the off-line disassembly of §3.3.2, performed lazily per address so that
+// data words in instruction memory never need to decode).
+func (sim *Simulator) fetch(pc int) (*instInfo, error) {
+	if ii, ok := sim.cache[pc]; ok {
+		return ii, nil
+	}
+	img := decode.FetchWord(sim.d, func(a int) bitvec.Value {
+		return sim.imH.Get(a)
+	}, pc)
+	inst, err := decode.Instruction(sim.d, img)
+	if err != nil {
+		return nil, err
+	}
+	ii := &instInfo{inst: inst}
+	for _, dop := range inst.Ops {
+		counter := sim.opCounters[dop.Op]
+		if counter == nil {
+			counter = new(uint64)
+			sim.opCounters[dop.Op] = counter
+		}
+		oi := opInfo{
+			dop:     dop,
+			env:     newEnv(sim, dop.Op.Params, dop.Args),
+			latency: dop.Op.Timing.Latency,
+			usage:   dop.Op.Timing.Usage,
+			cycle:   dop.Op.Costs.Cycle,
+			active:  len(dop.Op.Action) > 0 || len(dop.Op.SideEffect) > 0,
+			count:   counter,
+		}
+		oi.env.op = dop.Op
+		if sim.CompiledCore {
+			oi.actionFn, oi.sideFn = compileOp(oi.env)
+		}
+		addOptionCosts(&oi, dop.Args)
+		oi.reads = readSet(sim, dop)
+		ii.ops = append(ii.ops, oi)
+		if oi.cycle > ii.cycle {
+			ii.cycle = oi.cycle
+		}
+	}
+	sim.cache[pc] = ii
+	return ii, nil
+}
+
+// addOptionCosts folds non-terminal option costs and timing into the
+// operation's (ISDL option costs are additive adders, §2.1.1).
+func addOptionCosts(oi *opInfo, args []decode.Arg) {
+	for i := range args {
+		a := &args[i]
+		if a.Option == nil {
+			continue
+		}
+		oi.cycle += a.Option.Costs.Cycle
+		oi.latency += a.Option.Timing.Latency
+		oi.usage += a.Option.Timing.Usage
+		if len(a.Option.SideEffect) > 0 {
+			oi.active = true
+		}
+		addOptionCosts(oi, a.Sub)
+	}
+}
+
+// Step executes one instruction. It returns an error if the machine faults;
+// a halted machine steps to no effect.
+func (sim *Simulator) Step() (err error) {
+	if sim.halted {
+		return sim.stopErr
+	}
+	// The compiled core reports rare faults (stack overflow/underflow) by
+	// panicking with *RuntimeError.
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*RuntimeError)
+			if !ok {
+				panic(r)
+			}
+			sim.halted = true
+			sim.stopErr = re
+			err = re
+		}
+	}()
+	pc := int(sim.pcH.Get(0).Uint64())
+	sim.currentPC = pc
+	ii, err := sim.fetch(pc)
+	if err != nil {
+		sim.halted = true
+		sim.stopErr = err
+		return err
+	}
+
+	issue := sim.cycle
+	if sim.StallModel {
+		// Structural hazards: every field must be free.
+		for fi := range sim.d.Fields {
+			if sim.fieldFreeAt[fi] > issue {
+				issue = sim.fieldFreeAt[fi]
+			}
+		}
+		sim.stats.StructStalls += issue - sim.cycle
+		// Data hazards: stall past pending write-backs we read.
+		dataStart := issue
+		for changed := true; changed; {
+			changed = false
+			for _, p := range sim.pending {
+				if p.commitAt >= issue && instReads(ii, p.w.loc) {
+					issue = p.commitAt + 1
+					changed = true
+				}
+			}
+		}
+		sim.stats.DataStalls += issue - dataStart
+	}
+	sim.commitPendingBefore(issue)
+
+	sim.st.Cycle = issue
+	size := ii.inst.Size
+	// PC reads as the next instruction's address during execution; a
+	// control-flow operation overwrites it.
+	sim.pcH.Set(0, bitvec.FromUint64(sim.d.PC().Width, uint64(pc+size)))
+
+	if err := sim.execPhase(ii, issue, false); err != nil {
+		sim.halted = true
+		sim.stopErr = err
+		return err
+	}
+	// Side effects conceptually take place after the actions, still within
+	// the same cycle (§3.3.3).
+	if err := sim.execPhase(ii, issue, true); err != nil {
+		sim.halted = true
+		sim.stopErr = err
+		return err
+	}
+
+	for fi := range ii.ops {
+		oi := &ii.ops[fi]
+		sim.fieldFreeAt[fi] = issue + uint64(oi.usage)
+		*oi.count++
+		if oi.active {
+			sim.stats.FieldIssue[fi]++
+		}
+	}
+	sim.cycle = issue + uint64(ii.cycle)
+	sim.stats.Cycles = sim.cycle
+	sim.stats.Instructions++
+
+	if sim.trace != nil {
+		fmt.Fprintf(sim.trace, "%x\n", pc)
+	}
+	if sim.haltName != "" && !sim.st.Get(sim.haltName, 0).IsZero() {
+		sim.halted = true
+		// Flush outstanding write-backs so the final state is complete.
+		sim.commitPendingBefore(^uint64(0))
+	}
+	return nil
+}
+
+// execPhase runs the action phase (sideEffects=false) or the side-effects
+// phase (sideEffects=true) for every operation of the instruction: all reads
+// happen against pre-phase state, then writes commit (or are scheduled per
+// the operation's latency).
+func (sim *Simulator) execPhase(ii *instInfo, issue uint64, sideEffects bool) error {
+	phases := sim.phaseBuf
+	for i := range phases {
+		phases[i].writes = phases[i].writes[:0]
+		phases[i].pushes = phases[i].pushes[:0]
+	}
+	for i := range ii.ops {
+		oi := &ii.ops[i]
+		if oi.actionFn != nil {
+			// Compiled core: option side effects are folded into sideFn.
+			if sideEffects {
+				oi.sideFn(&phases[i])
+			} else {
+				oi.actionFn(&phases[i])
+			}
+			continue
+		}
+		stmts := oi.dop.Op.Action
+		if sideEffects {
+			stmts = oi.dop.Op.SideEffect
+		}
+		if err := oi.env.execStmts(stmts, &phases[i]); err != nil {
+			return err
+		}
+		if sideEffects {
+			// Non-terminal option side effects (e.g. post-increment
+			// addressing) run with the option's own environment.
+			if err := execOptionSideEffects(oi.env, &phases[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range ii.ops {
+		oi := &ii.ops[i]
+		if err := sim.commitWithLatency(&phases[i], oi.latency, issue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func execOptionSideEffects(parent *env, ph *phase) error {
+	for _, sub := range parent.ordered {
+		if err := sub.execStmts(sub.option.SideEffect, ph); err != nil {
+			return err
+		}
+		if err := execOptionSideEffects(sub, ph); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitWithLatency applies a phase's effects: latency-1 writes and all
+// stack operations commit now; longer-latency writes are queued. Writes to
+// the program counter always commit immediately.
+func (sim *Simulator) commitWithLatency(ph *phase, latency int, issue uint64) error {
+	if latency <= 1 {
+		return sim.commit(ph)
+	}
+	imm := phase{pushes: ph.pushes}
+	for _, w := range ph.writes {
+		if w.loc.storage == sim.pcName {
+			imm.writes = append(imm.writes, w)
+			continue
+		}
+		sim.pending = append(sim.pending, pendingWrite{w: w, commitAt: issue + uint64(latency) - 1})
+	}
+	return sim.commit(&imm)
+}
+
+// commitPendingBefore commits every pending write visible to an instruction
+// issuing at the given cycle (commitAt < issue), in scheduling order.
+func (sim *Simulator) commitPendingBefore(issue uint64) {
+	if len(sim.pending) == 0 {
+		return
+	}
+	kept := sim.pending[:0]
+	for _, p := range sim.pending {
+		if p.commitAt < issue {
+			sim.st.Cycle = p.commitAt
+			sim.applyWrite(p.w)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	sim.pending = kept
+}
+
+// instReads reports whether the instruction's read set intersects a write
+// location.
+func instReads(ii *instInfo, l loc) bool {
+	for i := range ii.ops {
+		for _, r := range ii.ops[i].reads {
+			if r.storage != l.storage {
+				continue
+			}
+			if r.index < 0 || r.index == l.index {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FlushPending commits every outstanding latency-delayed write-back
+// immediately. The architectural end state is unchanged (the interlock
+// already guarantees consumers wait for these values); co-simulation and
+// debugging use it to observe a consistent state between instructions.
+func (sim *Simulator) FlushPending() {
+	sim.commitPendingBefore(^uint64(0))
+}
+
+// Run executes until the machine halts, a breakpoint is reached, or limit
+// instructions have executed (limit <= 0 means no limit). It returns
+// ErrBreakpoint when stopped by a breakpoint.
+func (sim *Simulator) Run(limit int64) error {
+	executed := int64(0)
+	for !sim.halted {
+		if limit > 0 && executed >= limit {
+			return nil
+		}
+		if executed > 0 {
+			if pc := int(sim.st.PC().Uint64()); sim.breakpoints[pc] {
+				return ErrBreakpoint
+			}
+		}
+		if err := sim.Step(); err != nil {
+			return err
+		}
+		executed++
+	}
+	return sim.stopErr
+}
+
+// Disassemble renders the instruction at an address, for debugging UIs.
+func (sim *Simulator) Disassemble(pc int) (string, error) {
+	ii, err := sim.fetch(pc)
+	if err != nil {
+		return "", err
+	}
+	return asm.RenderInst(sim.d, ii.inst), nil
+}
