@@ -7,11 +7,13 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/asm"
 	"repro/internal/compiler"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/hgen"
 	"repro/internal/isdl"
 	"repro/internal/machines"
@@ -221,6 +223,45 @@ func BenchmarkParseISDL(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Exploration engine (Figure 1 loop) --------------------------------------
+
+// benchExplore measures the whole iterative-improvement loop on SPAM —
+// every neighbour candidate runs the full parse → compile → assemble →
+// simulate → synthesize pipeline — under the given concurrency and
+// memoization knobs. All variants produce bit-identical results (asserted
+// by TestExploreParallelDeterministic).
+func benchExplore(b *testing.B, workers int, cached bool) {
+	const kernel = "var i, s;\ns = 0;\nfor i = 0 to 7 { s = s + i; }\n"
+	b.ResetTimer()
+	var evaluated int
+	for i := 0; i < b.N; i++ {
+		ex := &explore.Explorer{
+			Base:     machines.SPAMSource,
+			Kernel:   kernel,
+			Weights:  explore.DefaultWeights(),
+			MaxIters: 3,
+			Workers:  workers,
+			NoCache:  !cached,
+		}
+		res, err := ex.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaluated = len(res.Steps)
+	}
+	b.ReportMetric(float64(evaluated), "candidates")
+}
+
+// BenchmarkExplore_SPAM is the exploration-throughput benchmark: the
+// sequential/uncached row is the pre-PR baseline, the parallel/cached row
+// the full engine.
+func BenchmarkExplore_SPAM(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchExplore(b, 1, false) })
+	b.Run("seq-cache", func(b *testing.B) { benchExplore(b, 1, true) })
+	b.Run("par", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), false) })
+	b.Run("par-cache", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), true) })
 }
 
 // --- Extension: §6.2 pipeline retiming ---------------------------------------

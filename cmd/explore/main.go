@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	explore -m spam2 -k kernel.k [-iters 8] [-o best.isdl]
+//	explore -m spam2 -k kernel.k [-iters 8] [-workers n] [-no-cache] [-o best.isdl]
+//
+// Neighbour candidates within an iteration are evaluated concurrently
+// (-workers, default NumCPU) and memoized across iterations; the result is
+// bit-identical to a sequential, uncached run.
 package main
 
 import (
@@ -22,6 +26,8 @@ func main() {
 	machine := flag.String("m", "", "base machine: .isdl file or builtin (toy, spam, spam2)")
 	kernelFile := flag.String("k", "", "kernel-language workload file")
 	iters := flag.Int("iters", 8, "maximum improvement iterations")
+	workers := flag.Int("workers", 0, "concurrent candidate evaluations per iteration (0 = NumCPU)")
+	noCache := flag.Bool("no-cache", false, "disable evaluation memoization across iterations")
 	out := flag.String("o", "", "write the winning ISDL description here")
 	wRun := flag.Float64("w-runtime", 1, "objective weight: run time (us)")
 	wArea := flag.Float64("w-area", 0.5, "objective weight: area (10k grid cells)")
@@ -45,6 +51,8 @@ func main() {
 		Kernel:   string(kernel),
 		Weights:  explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow},
 		MaxIters: *iters,
+		Workers:  *workers,
+		NoCache:  *noCache,
 		Log:      func(s string) { fmt.Println(s) },
 	}
 	res, err := ex.Run()

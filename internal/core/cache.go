@@ -1,0 +1,103 @@
+package core
+
+// Evaluation memoization. One hill-climbing iteration regenerates many
+// candidates a previous iteration already scored (only one operation changes
+// per accepted move), and the full parse → compile → assemble → simulate →
+// synthesize pipeline is by far the most expensive part of the exploration
+// loop of Figure 1. The cache keys an Evaluation by a cryptographic hash of
+// the canonical ISDL source and the workload, so identical architectures are
+// scored exactly once per cache lifetime.
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// CacheKey identifies one (architecture, workload) evaluation. Build it with
+// EvalKey over the *canonical* ISDL text (isdl.Format output) so that
+// formatting differences never split equivalent architectures.
+type CacheKey [sha256.Size]byte
+
+// EvalKey hashes a canonical ISDL source and a workload identity (the kernel
+// or assembly text plus any label that selects the workload) into a cache
+// key. The two inputs are length-prefix separated, so no pair of distinct
+// (source, workload) inputs can collide by concatenation.
+func EvalKey(canonicalISDL, workload string) CacheKey {
+	h := sha256.New()
+	var n [8]byte
+	for i, l := 0, len(canonicalISDL); i < 8; i++ {
+		n[i] = byte(l >> (8 * i))
+	}
+	h.Write(n[:])
+	h.Write([]byte(canonicalISDL))
+	h.Write([]byte(workload))
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// cacheEntry records one completed pipeline run: either a scored evaluation
+// or the deterministic error the pipeline produced (an infeasible candidate
+// stays infeasible, so failures are worth memoizing too).
+type cacheEntry struct {
+	eval *Evaluation
+	err  error
+}
+
+// EvalCache is a thread-safe memo table for evaluations. A cache is only
+// valid for one evaluator configuration (technology library, synthesis
+// options, instruction limit) and one meaning of the workload string —
+// changing any of those invalidates every entry, so use a fresh cache per
+// configuration. Entries never expire otherwise: an (ISDL, workload) pair
+// fully determines the pipeline's deterministic result.
+//
+// Cached *Evaluation values are shared across callers and must be treated
+// as immutable.
+type EvalCache struct {
+	mu      sync.Mutex
+	entries map[CacheKey]cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewEvalCache returns an empty cache.
+func NewEvalCache() *EvalCache {
+	return &EvalCache{entries: map[CacheKey]cacheEntry{}}
+}
+
+// Get looks up a key, counting a hit or a miss. On a hit it returns the
+// memoized evaluation or error.
+func (c *EvalCache) Get(k CacheKey) (ev *Evaluation, err error, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e.eval, e.err, ok
+}
+
+// Put stores a completed evaluation (or its deterministic failure) under a
+// key. Concurrent Puts for the same key are benign: the pipeline is a pure
+// function of the key, so every writer stores the same result.
+func (c *EvalCache) Put(k CacheKey, ev *Evaluation, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = cacheEntry{eval: ev, err: err}
+}
+
+// Stats returns the hit and miss counts so far.
+func (c *EvalCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of memoized evaluations.
+func (c *EvalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

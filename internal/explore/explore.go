@@ -17,7 +17,9 @@ package explore
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/compiler"
@@ -66,6 +68,21 @@ type Explorer struct {
 	Evaluator *core.Evaluator
 	// MaxIters bounds the loop (default 16).
 	MaxIters int
+	// Workers bounds the number of neighbour candidates evaluated
+	// concurrently within one iteration (default runtime.NumCPU()).
+	// Results are bit-identical to Workers=1 regardless of completion
+	// order: candidates are reduced in move order, so ties break exactly
+	// as in the sequential loop.
+	Workers int
+	// NoCache disables evaluation memoization. By default every scored
+	// candidate is remembered (keyed by canonical ISDL text + kernel, see
+	// core.EvalCache), so neighbours regenerated across hill-climbing
+	// iterations are evaluated once.
+	NoCache bool
+	// Cache, when non-nil, is used instead of a fresh per-Run cache —
+	// share one across runs only if Evaluator configuration and Kernel
+	// are identical (the key does not cover them).
+	Cache *core.EvalCache
 	// Log receives one line per evaluated candidate; nil discards.
 	Log func(string)
 }
@@ -86,9 +103,17 @@ func (e *Explorer) Run() (*Result, error) {
 	if maxIters <= 0 {
 		maxIters = 16
 	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cache := e.Cache
+	if cache == nil && !e.NoCache {
+		cache = core.NewEvalCache()
+	}
 
 	curSrc := e.Base
-	curEval, err := e.evaluate(ev, curSrc)
+	curEval, err := e.evaluate(ev, cache, curSrc)
 	if err != nil {
 		return nil, fmt.Errorf("explore: base candidate: %w", err)
 	}
@@ -101,11 +126,14 @@ func (e *Explorer) Run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		outs := e.evaluateAll(ev, cache, moves, workers)
 		bestScore := curScore
 		var bestSrc, bestAction string
 		var bestEval *core.Evaluation
-		for _, mv := range moves {
-			cand, err := e.evaluate(ev, mv.src)
+		// Reduce in move order: acceptance and tie-breaking are identical
+		// to the sequential loop no matter how the workers interleaved.
+		for i, mv := range moves {
+			cand, err := outs[i].eval, outs[i].err
 			if err != nil {
 				// Infeasible candidate (e.g. the compiler lost an
 				// operation it needs): skip.
@@ -120,6 +148,10 @@ func (e *Explorer) Run() (*Result, error) {
 				bestScore, bestSrc, bestAction, bestEval = s, mv.src, mv.action, cand
 			}
 		}
+		if cache != nil {
+			hits, misses := cache.Stats()
+			e.logf("iter %d: cache %d hits / %d misses (%d entries)", iter, hits, misses, cache.Len())
+		}
 		if bestEval == nil {
 			e.logf("iter %d: no improving move; stopping", iter)
 			break
@@ -132,15 +164,76 @@ func (e *Explorer) Run() (*Result, error) {
 	return res, nil
 }
 
+// outcome is one candidate's pipeline result.
+type outcome struct {
+	eval *core.Evaluation
+	err  error
+}
+
+// evaluateAll scores every move, fanning out over a bounded worker pool.
+// outs[i] always corresponds to moves[i]; completion order never matters.
+func (e *Explorer) evaluateAll(ev *core.Evaluator, cache *core.EvalCache, moves []move, workers int) []outcome {
+	outs := make([]outcome, len(moves))
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	if workers <= 1 {
+		for i := range moves {
+			outs[i].eval, outs[i].err = e.evaluate(ev, cache, moves[i].src)
+		}
+		return outs
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outs[i].eval, outs[i].err = e.evaluate(ev, cache, moves[i].src)
+			}
+		}()
+	}
+	for i := range moves {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return outs
+}
+
 func (e *Explorer) score(ev *core.Evaluation) float64 {
 	return ev.Score(e.Weights.Runtime, e.Weights.Area, e.Weights.Power)
 }
 
-func (e *Explorer) evaluate(ev *core.Evaluator, src string) (*core.Evaluation, error) {
+// evaluate runs the full pipeline for one candidate, memoized when cache is
+// non-nil. The key is the canonical ISDL text (isdl.Format of the parsed
+// candidate) plus the kernel, so the same architecture regenerated in a
+// later iteration — or reached through a different mutation path — is
+// scored once. Deterministic failures (uncompilable candidates) are cached
+// too; parse errors are not, since parsing is the cheap step and an
+// unparsable text has no canonical form to key by.
+func (e *Explorer) evaluate(ev *core.Evaluator, cache *core.EvalCache, src string) (*core.Evaluation, error) {
 	d, err := isdl.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	var key core.CacheKey
+	if cache != nil {
+		key = core.EvalKey(isdl.Format(d), e.Kernel)
+		if cand, err, ok := cache.Get(key); ok {
+			return cand, err
+		}
+	}
+	cand, err := e.evaluatePipeline(ev, d)
+	if cache != nil {
+		cache.Put(key, cand, err)
+	}
+	return cand, err
+}
+
+// evaluatePipeline is the uncached compile → assemble → evaluate chain.
+func (e *Explorer) evaluatePipeline(ev *core.Evaluator, d *isdl.Description) (*core.Evaluation, error) {
 	asmText, err := compiler.Compile(d, e.Kernel)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,140 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/machines"
+)
+
+// runConfig runs one exploration of SPAM with the given concurrency/cache
+// knobs over a small kernel that leaves removable operations on the table.
+func runConfig(t *testing.T, workers int, noCache bool) (*explore.Result, []string) {
+	t.Helper()
+	var lines []string
+	ex := &explore.Explorer{
+		Base:     machines.SPAMSource,
+		Kernel:   "var i, s;\ns = 0;\nfor i = 0 to 7 { s = s + i; }\n",
+		Weights:  explore.DefaultWeights(),
+		MaxIters: 3,
+		Workers:  workers,
+		NoCache:  noCache,
+		Log:      func(s string) { lines = append(lines, s) },
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, lines
+}
+
+// sameResult asserts two exploration runs are bit-identical where the
+// engine promises determinism: final source, scores, and the step set.
+func sameResult(t *testing.T, name string, a, b *explore.Result) {
+	t.Helper()
+	if a.FinalSource != b.FinalSource {
+		t.Errorf("%s: FinalSource differs", name)
+	}
+	w := explore.DefaultWeights()
+	score := func(r *explore.Result) (float64, float64) {
+		return r.Initial.Score(w.Runtime, w.Area, w.Power), r.Final.Score(w.Runtime, w.Area, w.Power)
+	}
+	ai, af := score(a)
+	bi, bf := score(b)
+	if ai != bi || af != bf {
+		t.Errorf("%s: scores differ: (%v, %v) vs (%v, %v)", name, ai, af, bi, bf)
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("%s: step counts differ: %d vs %d", name, len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		sa, sb := a.Steps[i], b.Steps[i]
+		if sa.Iter != sb.Iter || sa.Action != sb.Action || sa.Score != sb.Score || sa.Accepted != sb.Accepted {
+			t.Errorf("%s: step %d differs: %+v vs %+v", name, i, sa, sb)
+		}
+		if sa.Eval.Cycles != sb.Eval.Cycles || sa.Eval.AreaCells != sb.Eval.AreaCells || sa.Eval.PowerMW != sb.Eval.PowerMW {
+			t.Errorf("%s: step %d evaluation differs", name, i)
+		}
+	}
+}
+
+// TestExploreParallelDeterministic: concurrent neighbour evaluation and the
+// memoizing cache must not change the exploration outcome — parallel runs
+// are bit-identical to Workers=1, cached runs to uncached ones.
+func TestExploreParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	seq, _ := runConfig(t, 1, true)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		noCache bool
+	}{
+		{"workers=1+cache", 1, false},
+		{"workers=4", 4, true},
+		{"workers=4+cache", 4, false},
+		{"workers=32", 32, false},
+	} {
+		res, _ := runConfig(t, tc.workers, tc.noCache)
+		sameResult(t, tc.name, seq, res)
+	}
+}
+
+// TestExploreSharedCacheAcrossRuns: weights fold an evaluation into the
+// objective *after* the pipeline, so a weight sweep over the same base and
+// kernel can share one cache — the second run's candidates should be
+// overwhelmingly hits.
+func TestExploreSharedCacheAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	cache := core.NewEvalCache()
+	run := func(w explore.Weights) {
+		ex := &explore.Explorer{
+			Base:     machines.SPAMSource,
+			Kernel:   "var i, s;\ns = 0;\nfor i = 0 to 7 { s = s + i; }\n",
+			Weights:  w,
+			MaxIters: 2,
+			Workers:  2,
+			Cache:    cache,
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(explore.Weights{Runtime: 1, Area: 0.5, Power: 0.2})
+	h1, m1 := cache.Stats()
+	run(explore.Weights{Runtime: 1, Area: 5, Power: 0.2})
+	h2, m2 := cache.Stats()
+	newHits, newMisses := h2-h1, m2-m1
+	if newHits <= newMisses {
+		t.Errorf("weight-sweep run: %d hits / %d misses, want mostly hits", newHits, newMisses)
+	}
+}
+
+// TestExploreCacheHitsAcrossIterations: the hill climb revisits equivalent
+// architectures across iterations (e.g. the inverse of an accepted retiming
+// move regenerates the previous candidate), so a multi-iteration run must
+// report cache hits in the exploration log.
+func TestExploreCacheHitsAcrossIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	_, lines := runConfig(t, 4, false)
+	var cacheLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "cache") {
+			cacheLines = append(cacheLines, l)
+		}
+	}
+	if len(cacheLines) == 0 {
+		t.Fatal("no cache statistics in the exploration log")
+	}
+	last := cacheLines[len(cacheLines)-1]
+	if strings.Contains(last, "cache 0 hits") {
+		t.Errorf("expected cross-iteration cache hits, got %q", last)
+	}
+}

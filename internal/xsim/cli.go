@@ -295,7 +295,7 @@ func (s *Session) Execute(line string) error {
 				pc++
 				continue
 			}
-			ii := s.Sim.cache[pc]
+			ii, _ := s.Sim.fetch(pc) // cached: Disassemble just decoded it
 			fmt.Fprintf(s.Out, "%04x  %s\n", pc, text)
 			pc += ii.inst.Size
 		}

@@ -131,7 +131,13 @@ type Simulator struct {
 	d  *isdl.Description
 	st *state.State
 
-	cache      map[int]*instInfo
+	// The decode cache (off-line disassembly, §3.3.2) is a dense slice
+	// indexed by pc - denseBase for the program's address range — the
+	// fetch fast path — with a map fallback for instructions outside it
+	// (e.g. code materialized into untouched instruction memory).
+	dense      []*instInfo
+	denseBase  int
+	cacheOv    map[int]*instInfo
 	opCounters map[*isdl.Operation]*uint64
 	phaseBuf   []phase
 	// handles bypass name lookup on the hot path; resolved once at
@@ -173,7 +179,7 @@ func New(d *isdl.Description) *Simulator {
 	sim := &Simulator{
 		d:            d,
 		st:           state.New(d),
-		cache:        map[int]*instInfo{},
+		cacheOv:      map[int]*instInfo{},
 		opCounters:   map[*isdl.Operation]*uint64{},
 		phaseBuf:     make([]phase, len(d.Fields)),
 		pcName:       d.PC().Name,
@@ -203,11 +209,20 @@ func New(d *isdl.Description) *Simulator {
 	// Self-modifying writes invalidate the load-time decode of the
 	// affected address.
 	if _, err := sim.st.Watch(sim.imName, -1, func(ev state.ChangeEvent) {
-		delete(sim.cache, ev.Index)
+		sim.invalidate(ev.Index)
 	}); err != nil {
 		panic("xsim: " + err.Error())
 	}
 	return sim
+}
+
+// invalidate drops the cached decode of one instruction address.
+func (sim *Simulator) invalidate(addr int) {
+	if i := addr - sim.denseBase; i >= 0 && i < len(sim.dense) {
+		sim.dense[i] = nil
+		return
+	}
+	delete(sim.cacheOv, addr)
 }
 
 // State exposes the simulated processor state (for examine/set commands and
@@ -273,6 +288,15 @@ func (sim *Simulator) Breakpoints() []int {
 // defined). It resets machine state but keeps monitors and breakpoints.
 func (sim *Simulator) Load(p *asm.Program) error {
 	sim.Reset()
+	// Size the dense decode window to the program image; repeated Loads of
+	// same-sized programs reuse the slice (Reset already cleared it).
+	sim.denseBase = p.Base
+	if n := len(p.Words); n <= cap(sim.dense) {
+		sim.dense = sim.dense[:n]
+		clear(sim.dense)
+	} else {
+		sim.dense = make([]*instInfo, n)
+	}
 	if err := sim.st.LoadProgram(p.Base, p.Words); err != nil {
 		return err
 	}
@@ -292,11 +316,20 @@ func (sim *Simulator) Load(p *asm.Program) error {
 	return nil
 }
 
-// Reset clears machine state, statistics and the decode cache.
+// Reset clears machine state, statistics and the decode cache. Storage is
+// reused in place — no maps or slices are reallocated — so Load-heavy loops
+// (benchmark harnesses, repeated co-simulation runs) stay allocation-free.
 func (sim *Simulator) Reset() {
 	sim.st.Reset()
-	sim.cache = map[int]*instInfo{}
-	sim.opCounters = map[*isdl.Operation]*uint64{}
+	clear(sim.dense)
+	clear(sim.cacheOv)
+	// Keep the per-operation counters (the operations belong to the fixed
+	// description) and zero them through the shared pointers, so cached
+	// opInfo records from a previous program stay consistent if callers
+	// hold on to them.
+	for _, c := range sim.opCounters {
+		*c = 0
+	}
 	sim.cycle = 0
 	sim.pending = sim.pending[:0]
 	for i := range sim.fieldFreeAt {
@@ -304,14 +337,26 @@ func (sim *Simulator) Reset() {
 	}
 	sim.halted = false
 	sim.stopErr = nil
-	sim.stats = Stats{OpCounts: map[string]uint64{}, FieldIssue: make([]uint64, len(sim.d.Fields))}
+	oc, fi := sim.stats.OpCounts, sim.stats.FieldIssue
+	clear(oc)
+	for i := range fi {
+		fi[i] = 0
+	}
+	sim.stats = Stats{OpCounts: oc, FieldIssue: fi}
 }
 
 // fetch returns the pre-analyzed instruction at pc, decoding on first use
 // (the off-line disassembly of §3.3.2, performed lazily per address so that
 // data words in instruction memory never need to decode).
 func (sim *Simulator) fetch(pc int) (*instInfo, error) {
-	if ii, ok := sim.cache[pc]; ok {
+	// Fast path: a bounds-checked slice load for the program's own address
+	// range; the map only serves addresses outside the loaded image.
+	di := pc - sim.denseBase
+	if di >= 0 && di < len(sim.dense) {
+		if ii := sim.dense[di]; ii != nil {
+			return ii, nil
+		}
+	} else if ii, ok := sim.cacheOv[pc]; ok {
 		return ii, nil
 	}
 	img := decode.FetchWord(sim.d, func(a int) bitvec.Value {
@@ -348,7 +393,11 @@ func (sim *Simulator) fetch(pc int) (*instInfo, error) {
 			ii.cycle = oi.cycle
 		}
 	}
-	sim.cache[pc] = ii
+	if di >= 0 && di < len(sim.dense) {
+		sim.dense[di] = ii
+	} else {
+		sim.cacheOv[pc] = ii
+	}
 	return ii, nil
 }
 
