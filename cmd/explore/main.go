@@ -6,20 +6,27 @@
 //
 // Usage:
 //
-//	explore -m spam2 -k kernel.k [-iters 8] [-workers n] [-no-cache] [-o best.isdl]
+//	explore -m spam2 -k kernel.k [-iters 8] [-workers n] [-no-cache] [-cache-file c.json] [-o best.isdl]
 //
 // Neighbour candidates within an iteration are evaluated concurrently
-// (-workers, default NumCPU) and memoized across iterations; the result is
-// bit-identical to a sequential, uncached run.
+// (-workers, default NumCPU) and every pipeline stage is memoized across
+// iterations (see docs/PIPELINE.md); the result is bit-identical to a
+// sequential, uncached run. -cache-file persists the serializable stages
+// (compile, simulate, synthesize) across invocations: the file is loaded
+// if it exists and rewritten on success, so a repeated exploration starts
+// with compilation and synthesis fully warm.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/xsim"
 )
 
 func main() {
@@ -28,6 +35,7 @@ func main() {
 	iters := flag.Int("iters", 8, "maximum improvement iterations")
 	workers := flag.Int("workers", 0, "concurrent candidate evaluations per iteration (0 = NumCPU)")
 	noCache := flag.Bool("no-cache", false, "disable evaluation memoization across iterations")
+	cacheFile := flag.String("cache-file", "", "persist the stage cache here across runs (loaded if present, saved on success)")
 	out := flag.String("o", "", "write the winning ISDL description here")
 	wRun := flag.Float64("w-runtime", 1, "objective weight: run time (us)")
 	wArea := flag.Float64("w-area", 0.5, "objective weight: area (10k grid cells)")
@@ -46,6 +54,18 @@ func main() {
 		fatal(err)
 	}
 
+	var cache *core.EvalCache
+	if !*noCache {
+		cache = core.NewEvalCache()
+		if *cacheFile != "" {
+			if err := cache.Stages().LoadFile(*cacheFile); err == nil {
+				fmt.Printf("loaded stage cache %s (%d artifacts)\n", *cacheFile, cache.Stages().Len())
+			} else if !errors.Is(err, os.ErrNotExist) {
+				fatal(err)
+			}
+		}
+	}
+
 	ex := &repro.Explorer{
 		Base:     baseSrc,
 		Kernel:   string(kernel),
@@ -53,6 +73,7 @@ func main() {
 		MaxIters: *iters,
 		Workers:  *workers,
 		NoCache:  *noCache,
+		Cache:    cache,
 		Log:      func(s string) { fmt.Println(s) },
 	}
 	res, err := ex.Run()
@@ -61,6 +82,17 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Report())
+	if cache != nil {
+		opHits, opMisses := xsim.SharedOpCache().Stats()
+		fmt.Printf("stage cache: %s\n", cache.Stages().StatsLine())
+		fmt.Printf("op-closure cache: %d reused / %d compiled\n", opHits, opMisses)
+		if *cacheFile != "" {
+			if err := cache.Stages().SaveFile(*cacheFile); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved stage cache %s (%d artifacts)\n", *cacheFile, cache.Stages().Len())
+		}
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(res.FinalSource), 0o644); err != nil {
 			fatal(err)

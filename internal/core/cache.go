@@ -1,27 +1,91 @@
 package core
 
-// Evaluation memoization. One hill-climbing iteration regenerates many
-// candidates a previous iteration already scored (only one operation changes
-// per accepted move), and the full parse → compile → assemble → simulate →
-// synthesize pipeline is by far the most expensive part of the exploration
-// loop of Figure 1. The cache keys an Evaluation by a cryptographic hash of
-// the canonical ISDL source and the workload, so identical architectures are
-// scored exactly once per cache lifetime.
+// Stage-level memoization. One hill-climbing iteration regenerates many
+// candidates a previous iteration already scored (only one operation
+// changes per accepted move), and the paper's single-description design
+// makes every generated tool a pure function of its inputs: synthesis
+// depends only on the ISDL description, compilation and assembly only on
+// the (description, kernel) pair, simulation only on the description and
+// the program image. The StageCache keys each pipeline stage's artifact by
+// a cryptographic hash of exactly those inputs — canonical ISDL text
+// (isdl.Format output) so that formatting differences never split
+// equivalent architectures — so a stage re-runs only when something it
+// actually reads has changed. The legacy EvalCache is a thin view of the
+// final (combine) stage.
 
 import (
 	"crypto/sha256"
+	"fmt"
+	"strings"
 	"sync"
 )
 
-// CacheKey identifies one (architecture, workload) evaluation. Build it with
-// EvalKey over the *canonical* ISDL text (isdl.Format output) so that
-// formatting differences never split equivalent architectures.
+// Stage enumerates the evaluation pipeline's stages (docs/PIPELINE.md).
+type Stage uint8
+
+const (
+	// StageParse is ISDL parsing + canonicalization. It is never cached —
+	// the artifact would be a mutable AST, which stages deliberately do
+	// not share across goroutines — but its runs are counted so the
+	// metrics show the full pipeline.
+	StageParse Stage = iota
+	// StageCompile is the retargetable compiler: (canonical ISDL, kernel)
+	// → assembly text.
+	StageCompile
+	// StageAssemble is the assembler: (canonical ISDL, kernel) →
+	// *asm.Program.
+	StageAssemble
+	// StageSimulate is the instruction-level simulator: (canonical ISDL,
+	// program image) → SimArtifact.
+	StageSimulate
+	// StageSynthesize is the hardware model: canonical ISDL →
+	// SynthArtifact.
+	StageSynthesize
+	// StageCombine folds simulation and synthesis into the final
+	// *Evaluation, keyed like the whole pipeline: (canonical ISDL,
+	// kernel) via EvalKey.
+	StageCombine
+	// NumStages is the stage count (for iteration).
+	NumStages
+)
+
+var stageNames = [NumStages]string{"parse", "compile", "assemble", "simulate", "synthesize", "combine"}
+
+// String returns the stage's short name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// CacheKey identifies one stage artifact (or one whole-pipeline
+// evaluation). Build it with StageKey, or EvalKey for the final stage.
 type CacheKey [sha256.Size]byte
 
+// StageKey hashes a stage tag and its input parts into a cache key. Every
+// part is length-prefixed, so no two distinct part sequences collide by
+// concatenation, and the stage tag separates the key domains.
+func StageKey(s Stage, parts ...string) CacheKey {
+	h := sha256.New()
+	h.Write([]byte{'s', byte(s)})
+	var n [8]byte
+	for _, p := range parts {
+		for i, l := 0, len(p); i < 8; i++ {
+			n[i] = byte(l >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
 // EvalKey hashes a canonical ISDL source and a workload identity (the kernel
-// or assembly text plus any label that selects the workload) into a cache
-// key. The two inputs are length-prefix separated, so no pair of distinct
-// (source, workload) inputs can collide by concatenation.
+// or assembly text plus any label that selects the workload) into the final
+// stage's cache key. The two inputs are length-prefix separated, so no pair
+// of distinct (source, workload) inputs can collide by concatenation.
 func EvalKey(canonicalISDL, workload string) CacheKey {
 	h := sha256.New()
 	var n [8]byte
@@ -36,68 +100,159 @@ func EvalKey(canonicalISDL, workload string) CacheKey {
 	return k
 }
 
-// cacheEntry records one completed pipeline run: either a scored evaluation
-// or the deterministic error the pipeline produced (an infeasible candidate
-// stays infeasible, so failures are worth memoizing too).
-type cacheEntry struct {
-	eval *Evaluation
-	err  error
+// stageEntry records one completed stage run: either an artifact or the
+// deterministic error the stage produced (an infeasible candidate stays
+// infeasible, so failures are worth memoizing too).
+type stageEntry struct {
+	val any
+	err error
 }
 
-// EvalCache is a thread-safe memo table for evaluations. A cache is only
-// valid for one evaluator configuration (technology library, synthesis
-// options, instruction limit) and one meaning of the workload string —
-// changing any of those invalidates every entry, so use a fresh cache per
-// configuration. Entries never expire otherwise: an (ISDL, workload) pair
-// fully determines the pipeline's deterministic result.
+// StageStats are one stage's hit and miss counts.
+type StageStats struct {
+	Hits, Misses uint64
+}
+
+// StageCache is a thread-safe memo table for pipeline stage artifacts. A
+// cache is only valid for one evaluator configuration (technology library,
+// synthesis options, instruction limit) — the keys do not cover it — so
+// use a fresh cache per configuration. Entries never expire otherwise: a
+// stage's inputs fully determine its deterministic result.
 //
-// Cached *Evaluation values are shared across callers and must be treated
-// as immutable.
+// Cached artifacts are shared across callers (and goroutines) and must be
+// treated as immutable.
+type StageCache struct {
+	mu     sync.Mutex
+	tables [NumStages]map[CacheKey]stageEntry
+	stats  [NumStages]StageStats
+}
+
+// NewStageCache returns an empty cache.
+func NewStageCache() *StageCache {
+	c := &StageCache{}
+	for i := range c.tables {
+		c.tables[i] = map[CacheKey]stageEntry{}
+	}
+	return c
+}
+
+// Get looks up a stage's key, counting a hit or a miss. On a hit it
+// returns the memoized artifact or error.
+func (c *StageCache) Get(s Stage, k CacheKey) (val any, err error, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[s][k]
+	if ok {
+		c.stats[s].Hits++
+	} else {
+		c.stats[s].Misses++
+	}
+	return e.val, e.err, ok
+}
+
+// Put stores a completed stage artifact (or its deterministic failure)
+// under a key. Concurrent Puts for the same key are benign: every stage is
+// a pure function of the key, so every writer stores the same result.
+func (c *StageCache) Put(s Stage, k CacheKey, val any, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[s][k] = stageEntry{val: val, err: err}
+}
+
+// countRun records an uncached stage execution (StageParse) as a miss, so
+// per-stage metrics cover the full pipeline.
+func (c *StageCache) countRun(s Stage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats[s].Misses++
+}
+
+// PerStage returns the hit and miss counts of every stage, indexed by
+// Stage.
+func (c *StageCache) PerStage() [NumStages]StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Stats returns the aggregate hit and miss counts across all stages.
+func (c *StageCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.stats {
+		hits += s.Hits
+		misses += s.Misses
+	}
+	return hits, misses
+}
+
+// StatsLine renders the per-stage counters compactly for logs, one
+// "name hits/misses" pair per stage in pipeline order.
+func (c *StageCache) StatsLine() string {
+	ps := c.PerStage()
+	parts := make([]string, 0, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		parts = append(parts, fmt.Sprintf("%s %d/%d", s, ps[s].Hits, ps[s].Misses))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Len returns the total number of memoized artifacts across all stages.
+func (c *StageCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.tables {
+		n += len(t)
+	}
+	return n
+}
+
+// StageLen returns the number of memoized artifacts of one stage.
+func (c *StageCache) StageLen(s Stage) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tables[s])
+}
+
+// EvalCache is the legacy whole-pipeline memo table, kept as a thin
+// compatibility layer over the final (combine) stage of a StageCache.
+// Share one across exploration runs only if the Evaluator configuration is
+// identical (stage keys cover the description, kernel and program image,
+// but not the evaluator configuration).
 type EvalCache struct {
-	mu      sync.Mutex
-	entries map[CacheKey]cacheEntry
-	hits    uint64
-	misses  uint64
+	stages *StageCache
 }
 
 // NewEvalCache returns an empty cache.
-func NewEvalCache() *EvalCache {
-	return &EvalCache{entries: map[CacheKey]cacheEntry{}}
-}
+func NewEvalCache() *EvalCache { return &EvalCache{stages: NewStageCache()} }
 
-// Get looks up a key, counting a hit or a miss. On a hit it returns the
-// memoized evaluation or error.
+// Stages exposes the underlying per-stage cache (for the staged pipeline,
+// per-stage metrics and persistence).
+func (c *EvalCache) Stages() *StageCache { return c.stages }
+
+// Get looks up a final-stage key, counting a hit or a miss. On a hit it
+// returns the memoized evaluation or error.
 func (c *EvalCache) Get(k CacheKey) (ev *Evaluation, err error, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[k]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
+	v, err, ok := c.stages.Get(StageCombine, k)
+	if e, isEval := v.(*Evaluation); isEval {
+		return e, err, ok
 	}
-	return e.eval, e.err, ok
+	return nil, err, ok
 }
 
 // Put stores a completed evaluation (or its deterministic failure) under a
-// key. Concurrent Puts for the same key are benign: the pipeline is a pure
-// function of the key, so every writer stores the same result.
+// final-stage key.
 func (c *EvalCache) Put(k CacheKey, ev *Evaluation, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[k] = cacheEntry{eval: ev, err: err}
+	c.stages.Put(StageCombine, k, ev, err)
 }
 
-// Stats returns the hit and miss counts so far.
+// Stats returns the final stage's hit and miss counts — the whole-pipeline
+// memoization rate. Use Stages().PerStage() for the per-stage breakdown.
 func (c *EvalCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	s := c.stages.PerStage()[StageCombine]
+	return s.Hits, s.Misses
 }
 
 // Len returns the number of memoized evaluations.
-func (c *EvalCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *EvalCache) Len() int { return c.stages.StageLen(StageCombine) }

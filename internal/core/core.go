@@ -128,16 +128,26 @@ func (ev *Evaluator) EvaluateSource(isdlText, asmText, workload string) (*Evalua
 // the evaluation figures. It is exported so callers that already ran the
 // simulator (e.g. with breakpoints or traces) can reuse the methodology.
 func Combine(d *isdl.Description, workload string, sim *xsim.Simulator, hw *hgen.Result, lib *tech.Library) *Evaluation {
-	stats := sim.Stats()
+	return combineArtifacts(d.Name, workload,
+		SimArtifact{Cycles: sim.Cycle(), Stats: sim.Stats()},
+		SynthArtifact{CycleNs: hw.CycleNs, AreaCells: hw.AreaCells, EnergyPerInstrPJ: hw.EnergyPerInstrPJ, Result: hw},
+		lib)
+}
+
+// combineArtifacts is the stage-artifact form of Combine: pure arithmetic
+// over detached simulation measurements and synthesis figures, so it works
+// for artifacts restored from a persisted cache just as for live runs.
+func combineArtifacts(machine, workload string, sa SimArtifact, ha SynthArtifact, lib *tech.Library) *Evaluation {
+	stats := sa.Stats
 	e := &Evaluation{
-		Machine:      d.Name,
+		Machine:      machine,
 		Workload:     workload,
-		Cycles:       sim.Cycle(),
+		Cycles:       sa.Cycles,
 		Instructions: stats.Instructions,
 		Stats:        stats,
-		CycleNs:      hw.CycleNs,
-		AreaCells:    hw.AreaCells,
-		Hardware:     hw,
+		CycleNs:      ha.CycleNs,
+		AreaCells:    ha.AreaCells,
+		Hardware:     ha.Result,
 	}
 	e.RuntimeUs = float64(e.Cycles) * e.CycleNs / 1e3
 
@@ -158,7 +168,7 @@ func Combine(d *isdl.Description, workload string, sim *xsim.Simulator, hw *hgen
 	}
 	var switchedPJ float64
 	if e.Cycles > 0 {
-		switchedPJ = hw.EnergyPerInstrPJ * (busy*activity + idle*0.1)
+		switchedPJ = ha.EnergyPerInstrPJ * (busy*activity + idle*0.1)
 	}
 	dynamicMW := 0.0
 	if e.Cycles > 0 {

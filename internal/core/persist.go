@@ -1,0 +1,159 @@
+package core
+
+// Cross-run cache persistence. Compile, Simulate and Synthesize artifacts
+// are plain data, so they serialize to JSON and survive the process: a
+// second `cmd/explore -cache-file` run starts with compilation and
+// synthesis fully warm. Assemble entries hold live ASTs and Combine
+// entries are cheap arithmetic over the persisted stages, so neither is
+// saved — reloading recomputes them (and the per-stage metrics then show
+// exactly which stages the persisted cache satisfied).
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// persistVersion guards the on-disk format; bump it whenever a persisted
+// artifact's shape or a stage key's composition changes, so stale caches
+// are rejected instead of silently misread.
+const persistVersion = 1
+
+// persistedEntry is one stage artifact on disk. Exactly one of the value
+// fields (or Err, for a memoized deterministic failure) is set, matching
+// the entry's stage.
+type persistedEntry struct {
+	Key        string         `json:"key"` // hex CacheKey
+	Err        string         `json:"err,omitempty"`
+	Compile    *string        `json:"compile,omitempty"`
+	Simulate   *SimArtifact   `json:"simulate,omitempty"`
+	Synthesize *SynthArtifact `json:"synthesize,omitempty"`
+}
+
+// persistedCache is the on-disk form of a StageCache's serializable stages.
+type persistedCache struct {
+	Version int                         `json:"version"`
+	Stages  map[string][]persistedEntry `json:"stages"`
+}
+
+// persistableStages lists the stages Save writes and Load accepts.
+var persistableStages = []Stage{StageCompile, StageSimulate, StageSynthesize}
+
+// Save writes the cache's serializable stages (compile, simulate,
+// synthesize) as JSON. Assemble and combine entries are skipped; see the
+// package comment above.
+func (c *StageCache) Save(w io.Writer) error {
+	out := persistedCache{Version: persistVersion, Stages: map[string][]persistedEntry{}}
+	c.mu.Lock()
+	for _, s := range persistableStages {
+		entries := make([]persistedEntry, 0, len(c.tables[s]))
+		for k, e := range c.tables[s] {
+			pe := persistedEntry{Key: hex.EncodeToString(k[:])}
+			if e.err != nil {
+				pe.Err = e.err.Error()
+			} else {
+				switch s {
+				case StageCompile:
+					v, ok := e.val.(string)
+					if !ok {
+						continue
+					}
+					pe.Compile = &v
+				case StageSimulate:
+					v, ok := e.val.(SimArtifact)
+					if !ok {
+						continue
+					}
+					pe.Simulate = &v
+				case StageSynthesize:
+					v, ok := e.val.(SynthArtifact)
+					if !ok {
+						continue
+					}
+					v.Result = nil // figures only; the model is not serializable
+					pe.Synthesize = &v
+				}
+			}
+			entries = append(entries, pe)
+		}
+		out.Stages[s.String()] = entries
+	}
+	c.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// Load merges persisted entries into the cache. Entries from an
+// incompatible version are rejected; malformed keys are an error. Loading
+// does not count hits or misses — metrics start when evaluation does.
+func (c *StageCache) Load(r io.Reader) error {
+	var in persistedCache
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("core: decode cache: %w", err)
+	}
+	if in.Version != persistVersion {
+		return fmt.Errorf("core: cache version %d, want %d", in.Version, persistVersion)
+	}
+	for _, s := range persistableStages {
+		for _, pe := range in.Stages[s.String()] {
+			raw, err := hex.DecodeString(pe.Key)
+			if err != nil || len(raw) != len(CacheKey{}) {
+				return fmt.Errorf("core: bad cache key %q for stage %s", pe.Key, s)
+			}
+			var k CacheKey
+			copy(k[:], raw)
+			if pe.Err != "" {
+				c.Put(s, k, nil, errors.New(pe.Err))
+				continue
+			}
+			switch s {
+			case StageCompile:
+				if pe.Compile != nil {
+					c.Put(s, k, *pe.Compile, nil)
+				}
+			case StageSimulate:
+				if pe.Simulate != nil {
+					c.Put(s, k, *pe.Simulate, nil)
+				}
+			case StageSynthesize:
+				if pe.Synthesize != nil {
+					c.Put(s, k, *pe.Synthesize, nil)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the cache to a file (see Save).
+func (c *StageCache) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save cache: %w", err)
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("core: save cache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: save cache: %w", err)
+	}
+	return nil
+}
+
+// LoadFile merges a cache file into the cache (see Load).
+func (c *StageCache) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: load cache: %w", err)
+	}
+	defer f.Close()
+	if err := c.Load(f); err != nil {
+		return fmt.Errorf("core: load cache %s: %w", path, err)
+	}
+	return nil
+}

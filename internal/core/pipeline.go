@@ -1,0 +1,189 @@
+package core
+
+// The staged evaluation pipeline. The paper's Figure 1 loop regenerates
+// every tool from one ISDL description per candidate:
+//
+//	Parse → CompileKernel → Assemble → Simulate ┐
+//	                      Synthesize ───────────┴→ Combine
+//
+// Each stage is a pure function of its inputs, so the Pipeline memoizes
+// every stage in a StageCache keyed by exactly those inputs (see cache.go
+// and docs/PIPELINE.md): a kernel-only change reuses the Synthesize
+// artifact, a formatting-only change reuses everything, and a persisted
+// cache makes repeated CLI explorations start with compilation and
+// synthesis fully warm.
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/hgen"
+	"repro/internal/isdl"
+	"repro/internal/xsim"
+)
+
+// SimArtifact is the Simulate stage's result: the measurements Combine
+// needs, detached from the live simulator. Cached artifacts are shared and
+// must be treated as immutable.
+type SimArtifact struct {
+	Cycles uint64
+	Stats  *xsim.Stats
+}
+
+// SynthArtifact is the Synthesize stage's result: the cost figures Combine
+// needs. Result carries the full hardware model when synthesis ran in this
+// process; it is dropped by cache persistence (only the figures are
+// serialized), so evaluations rebuilt from a loaded cache have a nil
+// Hardware.
+type SynthArtifact struct {
+	CycleNs          float64
+	AreaCells        float64
+	EnergyPerInstrPJ float64
+	Result           *hgen.Result `json:"-"`
+}
+
+// Pipeline runs the staged methodology with per-stage memoization.
+type Pipeline struct {
+	// Evaluator configures the methodology; nil uses NewEvaluator().
+	Evaluator *Evaluator
+	// Cache memoizes stage artifacts; nil runs every stage every time.
+	// The cache is only valid for one Evaluator configuration.
+	Cache *StageCache
+}
+
+// EvaluateKernel runs the full pipeline for one candidate ISDL source and
+// one kernel-language workload: parse, compile the kernel, assemble,
+// simulate, synthesize, and combine. Every stage after parsing is
+// memoized when a cache is configured. Parse errors are returned uncached
+// (an unparsable text has no canonical form to key by); all later
+// deterministic failures are memoized under the final key too, so an
+// infeasible candidate is rejected once per cache lifetime.
+func (p *Pipeline) EvaluateKernel(isdlSrc, kernel, workload string) (*Evaluation, error) {
+	ev := p.Evaluator
+	if ev == nil {
+		ev = NewEvaluator()
+	}
+	c := p.Cache
+
+	// Parse + canonicalize. Never cached: the artifact would be a mutable
+	// AST, which stages deliberately do not share across candidates.
+	if c != nil {
+		c.countRun(StageParse)
+	}
+	d, err := isdl.Parse(isdlSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse ISDL: %w", err)
+	}
+	canonical := isdl.Format(d)
+
+	finalKey := EvalKey(canonical, kernel)
+	if c != nil {
+		if v, err, ok := c.Get(StageCombine, finalKey); ok {
+			e, _ := v.(*Evaluation)
+			return e, err
+		}
+	}
+	e, err := p.runStages(ev, c, d, canonical, kernel, workload)
+	if c != nil {
+		c.Put(StageCombine, finalKey, e, err)
+	}
+	return e, err
+}
+
+// runStages is the post-parse pipeline; every stage memoized individually.
+func (p *Pipeline) runStages(ev *Evaluator, c *StageCache, d *isdl.Description, canonical, kernel, workload string) (*Evaluation, error) {
+	// CompileKernel: (canonical ISDL, kernel) → assembly text.
+	asmText, err := stageRun(c, StageCompile, StageKey(StageCompile, canonical, kernel), func() (string, error) {
+		return compiler.Compile(d, kernel)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble: (canonical ISDL, kernel) → *asm.Program. The compiler is
+	// deterministic, so the kernel stands in for its assembly output in
+	// the key. A cached program may have been assembled against an
+	// earlier, textually identical parse of the description; programs are
+	// read-only after assembly, so sharing is sound.
+	prog, err := stageRun(c, StageAssemble, StageKey(StageAssemble, canonical, kernel), func() (*asm.Program, error) {
+		return asm.Assemble(d, asmText)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Simulate: (canonical ISDL, program image) → SimArtifact. Keyed by
+	// the marshalled image — not the kernel — so callers that feed
+	// hand-written or hand-optimized assembly share entries with compiled
+	// kernels that produce the same program.
+	img := asm.Marshal(prog)
+	simArt, err := stageRun(c, StageSimulate, StageKey(StageSimulate, canonical, string(img)), func() (SimArtifact, error) {
+		return runSimulation(d, prog, ev.MaxInstructions, workload)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Synthesize: canonical ISDL only — independent of the workload, so a
+	// kernel change reuses the hardware model.
+	synthArt, err := stageRun(c, StageSynthesize, StageKey(StageSynthesize, canonical), func() (SynthArtifact, error) {
+		hw, err := hgen.Synthesize(d, ev.Lib, ev.Synthesis)
+		if err != nil {
+			return SynthArtifact{}, fmt.Errorf("core: synthesize: %w", err)
+		}
+		return SynthArtifact{
+			CycleNs:          hw.CycleNs,
+			AreaCells:        hw.AreaCells,
+			EnergyPerInstrPJ: hw.EnergyPerInstrPJ,
+			Result:           hw,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Combine: pure arithmetic over the two artifacts; not cached on its
+	// own (the final key memoizes the result in EvaluateKernel).
+	return combineArtifacts(d.Name, workload, simArt, synthArt, ev.Lib), nil
+}
+
+// runSimulation executes a program on a fresh simulator and detaches the
+// measurements.
+func runSimulation(d *isdl.Description, prog *asm.Program, limit int64, workload string) (SimArtifact, error) {
+	sim := xsim.New(d)
+	if err := sim.Load(prog); err != nil {
+		return SimArtifact{}, fmt.Errorf("core: load: %w", err)
+	}
+	if limit <= 0 {
+		limit = 100_000_000
+	}
+	if err := sim.Run(limit); err != nil {
+		return SimArtifact{}, fmt.Errorf("core: simulate: %w", err)
+	}
+	if !sim.Halted() {
+		return SimArtifact{}, fmt.Errorf("core: workload %s did not halt within %d instructions", workload, limit)
+	}
+	return SimArtifact{Cycles: sim.Cycle(), Stats: sim.Stats()}, nil
+}
+
+// stageRun memoizes one stage execution: on a cache miss it runs the
+// stage and stores the artifact (or the deterministic error) under the
+// key. With a nil cache it just runs the stage.
+func stageRun[T any](c *StageCache, s Stage, k CacheKey, run func() (T, error)) (T, error) {
+	if c == nil {
+		return run()
+	}
+	if v, err, ok := c.Get(s, k); ok {
+		t, _ := v.(T)
+		return t, err
+	}
+	t, err := run()
+	if err != nil {
+		var zero T
+		c.Put(s, k, zero, err)
+		return t, err
+	}
+	c.Put(s, k, t, nil)
+	return t, err
+}

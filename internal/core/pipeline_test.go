@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isdl"
+	"repro/internal/machines"
+)
+
+const pipeKernelA = "var x, y;\nx = 2;\ny = x + 3;\n"
+const pipeKernelB = "var x, y;\nx = 4;\ny = x + x;\n"
+
+func toyCanonical(t *testing.T) string {
+	t.Helper()
+	return isdl.Format(machines.Toy())
+}
+
+// statsDelta subtracts two per-stage snapshots.
+func statsDelta(before, after [NumStages]StageStats) [NumStages]StageStats {
+	var d [NumStages]StageStats
+	for s := range after {
+		d[s] = StageStats{Hits: after[s].Hits - before[s].Hits, Misses: after[s].Misses - before[s].Misses}
+	}
+	return d
+}
+
+func wantStage(t *testing.T, d [NumStages]StageStats, s Stage, hits, misses uint64) {
+	t.Helper()
+	if d[s].Hits != hits || d[s].Misses != misses {
+		t.Errorf("stage %s: %d hits / %d misses, want %d/%d", s, d[s].Hits, d[s].Misses, hits, misses)
+	}
+}
+
+// TestPipelineStageKeyComposition checks that each stage key covers exactly
+// its inputs: a formatting-only ISDL change reuses every artifact, and a
+// kernel-only change reuses the Synthesize artifact while redoing the
+// workload-dependent stages.
+func TestPipelineStageKeyComposition(t *testing.T) {
+	src := toyCanonical(t)
+	cache := NewStageCache()
+	pipe := &Pipeline{Cache: cache}
+
+	base, err := pipe.EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cache.PerStage()
+	for s := StageCompile; s < NumStages; s++ {
+		if cold[s].Misses != 1 || cold[s].Hits != 0 {
+			t.Errorf("cold run, stage %s: %+v, want exactly one miss", s, cold[s])
+		}
+	}
+
+	// Formatting-only change: same canonical text, so every stage key is
+	// unchanged and the final (combine) key already answers.
+	reformatted := strings.ReplaceAll(src, "\n", "\n\n")
+	if isdl.Format(mustParse(t, reformatted)) != src {
+		t.Fatal("reformatted source is not formatting-only")
+	}
+	again, err := pipe.EvaluateKernel(reformatted, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != base {
+		t.Error("formatting-only change did not return the memoized evaluation")
+	}
+	d := statsDelta(cold, cache.PerStage())
+	wantStage(t, d, StageCombine, 1, 0)
+	for s := StageCompile; s < StageCombine; s++ {
+		wantStage(t, d, s, 0, 0)
+	}
+
+	// Kernel-only change: Synthesize depends only on the description, so
+	// its artifact is reused; the workload-dependent stages re-run.
+	snap := cache.PerStage()
+	kb, err := pipe.EvaluateKernel(src, pipeKernelB, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = statsDelta(snap, cache.PerStage())
+	wantStage(t, d, StageSynthesize, 1, 0)
+	wantStage(t, d, StageCompile, 0, 1)
+	wantStage(t, d, StageAssemble, 0, 1)
+	wantStage(t, d, StageSimulate, 0, 1)
+	wantStage(t, d, StageCombine, 0, 1)
+	if kb.CycleNs != base.CycleNs || kb.AreaCells != base.AreaCells {
+		t.Error("kernel-only change altered the hardware figures")
+	}
+}
+
+func mustParse(t *testing.T, src string) *isdl.Description {
+	t.Helper()
+	d, err := isdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPipelineNilCache: the pipeline works without memoization and produces
+// the same figures as the cached path.
+func TestPipelineNilCache(t *testing.T) {
+	src := toyCanonical(t)
+	cached, err := (&Pipeline{Cache: NewStageCache()}).EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := (&Pipeline{}).EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != cached.Cycles || plain.RuntimeUs != cached.RuntimeUs || plain.PowerMW != cached.PowerMW {
+		t.Errorf("uncached evaluation differs: %+v vs %+v", plain, cached)
+	}
+}
+
+// TestPipelineMemoizesFailures: an uncompilable candidate is rejected once;
+// the second attempt answers from the final stage.
+func TestPipelineMemoizesFailures(t *testing.T) {
+	src := toyCanonical(t)
+	cache := NewStageCache()
+	pipe := &Pipeline{Cache: cache}
+	bad := "var x;\nx = undefinedCall();\n"
+	if _, err := pipe.EvaluateKernel(src, bad, "kernel"); err == nil {
+		t.Fatal("expected a compile failure")
+	}
+	snap := cache.PerStage()
+	_, err := pipe.EvaluateKernel(src, bad, "kernel")
+	if err == nil {
+		t.Fatal("memoized failure lost")
+	}
+	d := statsDelta(snap, cache.PerStage())
+	wantStage(t, d, StageCombine, 1, 0)
+	wantStage(t, d, StageCompile, 0, 0)
+}
+
+// TestStageCachePersistenceRoundTrip: Save/Load carries the compile,
+// simulate and synthesize artifacts (and memoized failures) across caches,
+// so a fresh process re-evaluates a known candidate without compiling,
+// simulating or synthesizing — only assembly and the final combine re-run.
+func TestStageCachePersistenceRoundTrip(t *testing.T) {
+	src := toyCanonical(t)
+	first := NewStageCache()
+	base, err := (&Pipeline{Cache: first}).EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "var x;\nx = undefinedCall();\n"
+	if _, err := (&Pipeline{Cache: first}).EvaluateKernel(src, bad, "kernel"); err == nil {
+		t.Fatal("expected a compile failure")
+	}
+
+	var blob bytes.Buffer
+	if err := first.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewStageCache()
+	if err := second.Load(bytes.NewReader(blob.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := (&Pipeline{Cache: second}).EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := second.PerStage()
+	wantStage(t, ps, StageCompile, 1, 0)
+	wantStage(t, ps, StageSimulate, 1, 0)
+	wantStage(t, ps, StageSynthesize, 1, 0)
+	wantStage(t, ps, StageAssemble, 0, 1)
+	wantStage(t, ps, StageCombine, 0, 1)
+
+	if reloaded.Cycles != base.Cycles || reloaded.RuntimeUs != base.RuntimeUs ||
+		reloaded.AreaCells != base.AreaCells || reloaded.PowerMW != base.PowerMW {
+		t.Errorf("reloaded evaluation differs: %+v vs %+v", reloaded, base)
+	}
+
+	// The memoized failure survives persistence too.
+	if _, err := (&Pipeline{Cache: second}).EvaluateKernel(src, bad, "kernel"); err == nil {
+		t.Error("persisted failure lost")
+	}
+
+	// Version skew is rejected instead of misread.
+	skew := strings.Replace(blob.String(), `"version":1`, `"version":99`, 1)
+	if err := NewStageCache().Load(strings.NewReader(skew)); err == nil {
+		t.Error("incompatible cache version accepted")
+	}
+}

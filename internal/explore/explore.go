@@ -21,10 +21,9 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/asm"
-	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/isdl"
+	"repro/internal/xsim"
 )
 
 // Weights define the scalar objective (lower is better).
@@ -74,14 +73,18 @@ type Explorer struct {
 	// order: candidates are reduced in move order, so ties break exactly
 	// as in the sequential loop.
 	Workers int
-	// NoCache disables evaluation memoization. By default every scored
-	// candidate is remembered (keyed by canonical ISDL text + kernel, see
-	// core.EvalCache), so neighbours regenerated across hill-climbing
-	// iterations are evaluated once.
+	// NoCache disables evaluation memoization. By default every pipeline
+	// stage of every scored candidate is remembered (content-addressed
+	// per-stage keys over canonical ISDL text, kernel and program image;
+	// see core.StageCache and docs/PIPELINE.md), so neighbours
+	// regenerated across hill-climbing iterations are evaluated once and
+	// partial rework (e.g. re-synthesis after a kernel change) is skipped.
 	NoCache bool
-	// Cache, when non-nil, is used instead of a fresh per-Run cache —
-	// share one across runs only if Evaluator configuration and Kernel
-	// are identical (the key does not cover them).
+	// Cache, when non-nil, is used instead of a fresh per-Run cache. The
+	// keys cover the candidate description and the kernel, so sharing a
+	// cache across runs with different Kernels (or Bases) is sound; only
+	// the Evaluator configuration is uncovered — share a cache across
+	// runs only if it is identical.
 	Cache *core.EvalCache
 	// Log receives one line per evaluated candidate; nil discards.
 	Log func(string)
@@ -111,9 +114,17 @@ func (e *Explorer) Run() (*Result, error) {
 	if cache == nil && !e.NoCache {
 		cache = core.NewEvalCache()
 	}
+	var stages *core.StageCache
+	if cache != nil {
+		stages = cache.Stages()
+	}
+	pipe := &core.Pipeline{Evaluator: ev, Cache: stages}
+	// Compiled-op reuse happens below the pipeline, in the process-wide
+	// xsim cache; report per-run deltas alongside the stage counters.
+	opHits0, opMisses0 := xsim.SharedOpCache().Stats()
 
 	curSrc := e.Base
-	curEval, err := e.evaluate(ev, cache, curSrc)
+	curEval, err := e.evaluate(pipe, curSrc)
 	if err != nil {
 		return nil, fmt.Errorf("explore: base candidate: %w", err)
 	}
@@ -126,7 +137,7 @@ func (e *Explorer) Run() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		outs := e.evaluateAll(ev, cache, moves, workers)
+		outs := e.evaluateAll(pipe, moves, workers)
 		bestScore := curScore
 		var bestSrc, bestAction string
 		var bestEval *core.Evaluation
@@ -148,9 +159,10 @@ func (e *Explorer) Run() (*Result, error) {
 				bestScore, bestSrc, bestAction, bestEval = s, mv.src, mv.action, cand
 			}
 		}
-		if cache != nil {
-			hits, misses := cache.Stats()
-			e.logf("iter %d: cache %d hits / %d misses (%d entries)", iter, hits, misses, cache.Len())
+		if stages != nil {
+			opHits, opMisses := xsim.SharedOpCache().Stats()
+			e.logf("iter %d: cache %s; op-closures %d reused / %d compiled",
+				iter, stages.StatsLine(), opHits-opHits0, opMisses-opMisses0)
 		}
 		if bestEval == nil {
 			e.logf("iter %d: no improving move; stopping", iter)
@@ -172,14 +184,14 @@ type outcome struct {
 
 // evaluateAll scores every move, fanning out over a bounded worker pool.
 // outs[i] always corresponds to moves[i]; completion order never matters.
-func (e *Explorer) evaluateAll(ev *core.Evaluator, cache *core.EvalCache, moves []move, workers int) []outcome {
+func (e *Explorer) evaluateAll(pipe *core.Pipeline, moves []move, workers int) []outcome {
 	outs := make([]outcome, len(moves))
 	if workers > len(moves) {
 		workers = len(moves)
 	}
 	if workers <= 1 {
 		for i := range moves {
-			outs[i].eval, outs[i].err = e.evaluate(ev, cache, moves[i].src)
+			outs[i].eval, outs[i].err = e.evaluate(pipe, moves[i].src)
 		}
 		return outs
 	}
@@ -190,7 +202,7 @@ func (e *Explorer) evaluateAll(ev *core.Evaluator, cache *core.EvalCache, moves 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outs[i].eval, outs[i].err = e.evaluate(ev, cache, moves[i].src)
+				outs[i].eval, outs[i].err = e.evaluate(pipe, moves[i].src)
 			}
 		}()
 	}
@@ -206,43 +218,19 @@ func (e *Explorer) score(ev *core.Evaluation) float64 {
 	return ev.Score(e.Weights.Runtime, e.Weights.Area, e.Weights.Power)
 }
 
-// evaluate runs the full pipeline for one candidate, memoized when cache is
-// non-nil. The key is the canonical ISDL text (isdl.Format of the parsed
-// candidate) plus the kernel, so the same architecture regenerated in a
-// later iteration — or reached through a different mutation path — is
-// scored once. Deterministic failures (uncompilable candidates) are cached
-// too; parse errors are not, since parsing is the cheap step and an
-// unparsable text has no canonical form to key by.
-func (e *Explorer) evaluate(ev *core.Evaluator, cache *core.EvalCache, src string) (*core.Evaluation, error) {
-	d, err := isdl.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	var key core.CacheKey
-	if cache != nil {
-		key = core.EvalKey(isdl.Format(d), e.Kernel)
-		if cand, err, ok := cache.Get(key); ok {
-			return cand, err
-		}
-	}
-	cand, err := e.evaluatePipeline(ev, d)
-	if cache != nil {
-		cache.Put(key, cand, err)
-	}
-	return cand, err
-}
-
-// evaluatePipeline is the uncached compile → assemble → evaluate chain.
-func (e *Explorer) evaluatePipeline(ev *core.Evaluator, d *isdl.Description) (*core.Evaluation, error) {
-	asmText, err := compiler.Compile(d, e.Kernel)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := asm.Assemble(d, asmText)
-	if err != nil {
-		return nil, err
-	}
-	return ev.Evaluate(d, prog, "kernel")
+// evaluate runs the staged pipeline (core.Pipeline) for one candidate:
+// parse → compile kernel → assemble → simulate → synthesize → combine,
+// with every post-parse stage memoized per content-addressed key when the
+// pipeline has a cache. The whole-pipeline key is the canonical ISDL text
+// (isdl.Format of the parsed candidate) plus the kernel, so the same
+// architecture regenerated in a later iteration — or reached through a
+// different mutation path — is scored once; partially matching candidates
+// (e.g. the same architecture under a changed kernel) still reuse the
+// stages whose inputs are unchanged. Deterministic failures (uncompilable
+// candidates) are cached too; parse errors are not, since parsing is the
+// cheap step and an unparsable text has no canonical form to key by.
+func (e *Explorer) evaluate(pipe *core.Pipeline, src string) (*core.Evaluation, error) {
+	return pipe.EvaluateKernel(src, e.Kernel, "kernel")
 }
 
 // move is one candidate mutation.

@@ -134,7 +134,12 @@ func TestExploreCacheHitsAcrossIterations(t *testing.T) {
 		t.Fatal("no cache statistics in the exploration log")
 	}
 	last := cacheLines[len(cacheLines)-1]
-	if strings.Contains(last, "cache 0 hits") {
-		t.Errorf("expected cross-iteration cache hits, got %q", last)
+	for _, stage := range []string{"parse", "compile", "assemble", "simulate", "synthesize", "combine"} {
+		if !strings.Contains(last, stage) {
+			t.Errorf("per-stage cache line misses stage %q: %q", stage, last)
+		}
+	}
+	if strings.Contains(last, "combine 0/") {
+		t.Errorf("expected cross-iteration whole-pipeline hits, got %q", last)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/isdl"
+	"repro/internal/state"
 )
 
 func sprintf(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
@@ -13,27 +14,66 @@ func sprintf(format string, args ...interface{}) string { return fmt.Sprintf(for
 // specific C that is natively compiled and linked with a common library
 // (§3.3); the closest Go analogue is compiling every decoded operation
 // instance into a tree of closures at load time, with parameter values,
-// storage handles and operator selection all resolved once. This is the
+// storage indices and operator selection all resolved once. This is the
 // default core; the AST interpreter in eval.go remains as the reference
 // implementation (the two are cross-checked by tests), and §6.2's
 // "compiled-code simulator" speedup is measurable by flipping
 // Simulator.CompiledCore (part of the Table 1 benchmark).
 //
+// Compiled closures are deliberately simulator-independent: they address
+// processor state positionally through the per-simulator execCtx instead
+// of capturing state handles, and reach the simulator (statistics, stacks,
+// fault PC) through the same context. A closure therefore runs correctly
+// on any simulator whose description has the same state layout, which is
+// what lets the OpCache share compiled operations across the neighbour
+// candidates of an exploration run (see opcache.go).
+//
 // Runtime faults (stack overflow/underflow) are rare, so compiled code
 // reports them by panicking with *RuntimeError; Step recovers.
 
+// execCtx is the per-simulator execution context compiled closures run
+// against: storage and alias handles in description declaration order.
+type execCtx struct {
+	sim    *Simulator
+	stH    []state.Handle
+	aliasH []state.Handle
+}
+
 // valFn computes one RTL expression value.
-type valFn func() bitvec.Value
+type valFn func(ctx *execCtx) bitvec.Value
 
 // locFn resolves one write destination.
-type locFn func() loc
+type locFn func(ctx *execCtx) loc
 
 // stmtFn evaluates statements of one phase into ph.
-type stmtFn func(ph *phase)
+type stmtFn func(ctx *execCtx, ph *phase)
 
-// compileOp compiles both phases of a decoded operation instance.
-func compileOp(opEnv *env) (action, side stmtFn) {
-	c := &compiler{env: opEnv}
+// compileCtx resolves AST references to layout positions at compile time.
+type compileCtx struct {
+	stIdx map[*isdl.Storage]int
+	alIdx map[*isdl.Alias]int
+}
+
+func newCompileCtx(d *isdl.Description) *compileCtx {
+	cc := &compileCtx{
+		stIdx: make(map[*isdl.Storage]int, len(d.Storage)),
+		alIdx: make(map[*isdl.Alias]int, len(d.Aliases)),
+	}
+	for i, st := range d.Storage {
+		cc.stIdx[st] = i
+	}
+	for i, a := range d.Aliases {
+		cc.alIdx[a] = i
+	}
+	return cc
+}
+
+// compileOp compiles both phases of a decoded operation instance. The env
+// supplies parameter bindings only; compiled closures never capture it (or
+// any simulator state), so the result is reusable across simulators with
+// the same state layout.
+func compileOp(cc *compileCtx, opEnv *env) (action, side stmtFn) {
+	c := &compiler{env: opEnv, cc: cc}
 	op := envOp(opEnv)
 	action = c.stmts(op.Action)
 	side = c.stmts(op.SideEffect)
@@ -42,7 +82,7 @@ func compileOp(opEnv *env) (action, side stmtFn) {
 	var collect func(e *env)
 	collect = func(e *env) {
 		for _, sub := range e.ordered {
-			sc := &compiler{env: sub}
+			sc := &compiler{env: sub, cc: cc}
 			optFns = append(optFns, sc.stmts(sub.option.SideEffect))
 			collect(sub)
 		}
@@ -50,10 +90,10 @@ func compileOp(opEnv *env) (action, side stmtFn) {
 	collect(opEnv)
 	if len(optFns) > 0 {
 		base := side
-		side = func(ph *phase) {
-			base(ph)
+		side = func(ctx *execCtx, ph *phase) {
+			base(ctx, ph)
 			for _, f := range optFns {
-				f(ph)
+				f(ctx, ph)
 			}
 		}
 	}
@@ -66,10 +106,7 @@ func envOp(e *env) *isdl.Operation { return e.op }
 
 type compiler struct {
 	env *env
-}
-
-func (c *compiler) fault(format string, args ...interface{}) {
-	panicRuntime(c.env.sim, format, args...)
+	cc  *compileCtx
 }
 
 func panicRuntime(sim *Simulator, format string, args ...interface{}) {
@@ -84,9 +121,9 @@ func (c *compiler) stmts(stmts []isdl.Stmt) stmtFn {
 	if len(fns) == 1 {
 		return fns[0]
 	}
-	return func(ph *phase) {
+	return func(ctx *execCtx, ph *phase) {
 		for _, f := range fns {
-			f(ph)
+			f(ctx, ph)
 		}
 	}
 }
@@ -96,9 +133,9 @@ func (c *compiler) stmt(s isdl.Stmt) stmtFn {
 	case *isdl.Assign:
 		rhs := c.expr(s.RHS)
 		dst := c.loc(s.LHS)
-		return func(ph *phase) {
-			v := rhs()
-			l := dst()
+		return func(ctx *execCtx, ph *phase) {
+			v := rhs(ctx)
+			l := dst(ctx)
 			ph.writes = append(ph.writes, write{loc: l, val: v})
 		}
 	case *isdl.If:
@@ -108,11 +145,11 @@ func (c *compiler) stmt(s isdl.Stmt) stmtFn {
 		if len(s.Else) > 0 {
 			els = c.stmts(s.Else)
 		}
-		return func(ph *phase) {
-			if !cond().IsZero() {
-				then(ph)
+		return func(ctx *execCtx, ph *phase) {
+			if !cond(ctx).IsZero() {
+				then(ctx, ph)
 			} else if els != nil {
-				els(ph)
+				els(ctx, ph)
 			}
 		}
 	case *isdl.ExprStmt:
@@ -121,50 +158,56 @@ func (c *compiler) stmt(s isdl.Stmt) stmtFn {
 		case "push":
 			stack := call.Args[0].(*isdl.Ref).Name
 			val := c.expr(call.Args[1])
-			return func(ph *phase) {
-				ph.pushes = append(ph.pushes, pushOp{stack: stack, val: val()})
+			return func(ctx *execCtx, ph *phase) {
+				ph.pushes = append(ph.pushes, pushOp{stack: stack, val: val(ctx)})
 			}
 		case "pop":
 			f := c.expr(call)
-			return func(ph *phase) { f() }
+			return func(ctx *execCtx, ph *phase) { f(ctx) }
 		}
 	}
-	sim := c.env.sim
-	return func(*phase) { panicRuntime(sim, "unknown statement") }
+	return func(ctx *execCtx, ph *phase) { panicRuntime(ctx.sim, "unknown statement") }
 }
 
 func (c *compiler) loc(e isdl.Expr) locFn {
-	sim := c.env.sim
 	switch e := e.(type) {
 	case *isdl.Ref:
 		switch {
 		case e.Storage != nil:
-			l := loc{storage: e.Storage.Name, index: 0, hi: -1, lo: -1, h: sim.handles[e.Storage]}
-			return func() loc { return l }
+			name := e.Storage.Name
+			idx := c.cc.stIdx[e.Storage]
+			return func(ctx *execCtx) loc {
+				return loc{storage: name, index: 0, hi: -1, lo: -1, h: ctx.stH[idx]}
+			}
 		case e.AliasTo != nil:
 			a := e.AliasTo
-			l := loc{storage: a.Target, index: int(a.Index), hi: -1, lo: -1, h: sim.aliasH[a]}
+			idx := c.cc.alIdx[a]
+			l := loc{storage: a.Target, index: int(a.Index), hi: -1, lo: -1}
 			if a.Sliced {
 				l.hi, l.lo = a.Hi, a.Lo
 			}
-			return func() loc { return l }
+			return func(ctx *execCtx) loc {
+				l := l
+				l.h = ctx.aliasH[idx]
+				return l
+			}
 		case e.Param != nil && e.Param.NT != nil:
 			sub := c.env.subEnv(e.Param.Name)
-			sc := &compiler{env: sub}
+			sc := &compiler{env: sub, cc: c.cc}
 			return sc.loc(sub.option.Value)
 		}
 	case *isdl.Index:
 		idx := c.expr(e.Idx)
 		name := e.Storage.Name
-		h := sim.handles[e.Storage]
-		return func() loc {
-			return loc{storage: name, index: int(idx().Uint64()), hi: -1, lo: -1, h: h}
+		si := c.cc.stIdx[e.Storage]
+		return func(ctx *execCtx) loc {
+			return loc{storage: name, index: int(idx(ctx).Uint64()), hi: -1, lo: -1, h: ctx.stH[si]}
 		}
 	case *isdl.SliceE:
 		base := c.loc(e.X)
 		hi, lo := e.Hi, e.Lo
-		return func() loc {
-			l := base()
+		return func(ctx *execCtx) loc {
+			l := base(ctx)
 			if l.hi >= 0 {
 				return loc{storage: l.storage, index: l.index, hi: l.lo + hi, lo: l.lo + lo, h: l.h}
 			}
@@ -172,60 +215,65 @@ func (c *compiler) loc(e isdl.Expr) locFn {
 			return l
 		}
 	}
-	return func() loc { panicRuntime(sim, "%s is not assignable", e); return loc{} }
+	return func(ctx *execCtx) loc { panicRuntime(ctx.sim, "%s is not assignable", e); return loc{} }
 }
 
 func (c *compiler) expr(e isdl.Expr) valFn {
-	sim := c.env.sim
 	switch e := e.(type) {
 	case *isdl.Lit:
 		v := e.Val
-		return func() bitvec.Value { return v }
+		return func(*execCtx) bitvec.Value { return v }
 
 	case *isdl.Ref:
 		switch {
 		case e.Storage != nil:
-			h := sim.handles[e.Storage]
-			return func() bitvec.Value { sim.stats.Reads++; return h.Get(0) }
+			idx := c.cc.stIdx[e.Storage]
+			return func(ctx *execCtx) bitvec.Value { ctx.sim.stats.Reads++; return ctx.stH[idx].Get(0) }
 		case e.AliasTo != nil:
 			a := e.AliasTo
-			h := sim.aliasH[a]
+			ai := c.cc.alIdx[a]
 			idx := int(a.Index)
 			if a.Sliced {
 				hi, lo := a.Hi, a.Lo
-				return func() bitvec.Value { sim.stats.Reads++; return h.Get(idx).Slice(hi, lo) }
+				return func(ctx *execCtx) bitvec.Value {
+					ctx.sim.stats.Reads++
+					return ctx.aliasH[ai].Get(idx).Slice(hi, lo)
+				}
 			}
-			return func() bitvec.Value { sim.stats.Reads++; return h.Get(idx) }
+			return func(ctx *execCtx) bitvec.Value { ctx.sim.stats.Reads++; return ctx.aliasH[ai].Get(idx) }
 		case e.Param != nil:
 			arg := c.env.args[e.Param.Name]
 			if e.Param.Token != nil {
 				v := arg.Value
-				return func() bitvec.Value { return v }
+				return func(*execCtx) bitvec.Value { return v }
 			}
 			sub := c.env.subEnv(e.Param.Name)
-			sc := &compiler{env: sub}
+			sc := &compiler{env: sub, cc: c.cc}
 			return sc.expr(sub.option.Value)
 		}
 
 	case *isdl.Index:
 		idx := c.expr(e.Idx)
-		h := sim.handles[e.Storage]
-		return func() bitvec.Value { sim.stats.Reads++; return h.Get(int(idx().Uint64())) }
+		si := c.cc.stIdx[e.Storage]
+		return func(ctx *execCtx) bitvec.Value {
+			ctx.sim.stats.Reads++
+			return ctx.stH[si].Get(int(idx(ctx).Uint64()))
+		}
 
 	case *isdl.SliceE:
 		x := c.expr(e.X)
 		hi, lo := e.Hi, e.Lo
-		return func() bitvec.Value { return x().Slice(hi, lo) }
+		return func(ctx *execCtx) bitvec.Value { return x(ctx).Slice(hi, lo) }
 
 	case *isdl.Unary:
 		x := c.expr(e.X)
 		switch e.Op {
 		case "-":
-			return func() bitvec.Value { return x().Neg() }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Neg() }
 		case "~":
-			return func() bitvec.Value { return x().Not() }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Not() }
 		case "!":
-			return func() bitvec.Value { return boolVal(x().IsZero()) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).IsZero()) }
 		}
 
 	case *isdl.Binary:
@@ -234,124 +282,133 @@ func (c *compiler) expr(e isdl.Expr) valFn {
 		switch e.Op {
 		case "&&":
 			y := c.expr(e.Y)
-			return func() bitvec.Value { return boolVal(!x().IsZero() && !y().IsZero()) }
+			return func(ctx *execCtx) bitvec.Value {
+				return boolVal(!x(ctx).IsZero() && !y(ctx).IsZero())
+			}
 		case "||":
 			y := c.expr(e.Y)
-			return func() bitvec.Value { return boolVal(!x().IsZero() || !y().IsZero()) }
+			return func(ctx *execCtx) bitvec.Value {
+				return boolVal(!x(ctx).IsZero() || !y(ctx).IsZero())
+			}
 		}
 		y := c.expr(e.Y)
 		switch e.Op {
 		case "+":
-			return func() bitvec.Value { return x().Add(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Add(y(ctx)) }
 		case "-":
-			return func() bitvec.Value { return x().Sub(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Sub(y(ctx)) }
 		case "*":
-			return func() bitvec.Value { return x().Mul(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Mul(y(ctx)) }
 		case "/":
-			return func() bitvec.Value { return x().DivU(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).DivU(y(ctx)) }
 		case "%":
-			return func() bitvec.Value { return x().ModU(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).ModU(y(ctx)) }
 		case "&":
-			return func() bitvec.Value { return x().And(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).And(y(ctx)) }
 		case "|":
-			return func() bitvec.Value { return x().Or(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Or(y(ctx)) }
 		case "^":
-			return func() bitvec.Value { return x().Xor(y()) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Xor(y(ctx)) }
 		case "<<":
-			return func() bitvec.Value { return x().Shl(int(y().Uint64())) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).Shl(int(y(ctx).Uint64())) }
 		case ">>":
-			return func() bitvec.Value { return x().ShrL(int(y().Uint64())) }
+			return func(ctx *execCtx) bitvec.Value { return x(ctx).ShrL(int(y(ctx).Uint64())) }
 		case "==":
-			return func() bitvec.Value { return boolVal(x().Eq(y())) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).Eq(y(ctx))) }
 		case "!=":
-			return func() bitvec.Value { return boolVal(!x().Eq(y())) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(!x(ctx).Eq(y(ctx))) }
 		case "<":
-			return func() bitvec.Value { return boolVal(x().CmpU(y()) < 0) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpU(y(ctx)) < 0) }
 		case "<=":
-			return func() bitvec.Value { return boolVal(x().CmpU(y()) <= 0) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpU(y(ctx)) <= 0) }
 		case ">":
-			return func() bitvec.Value { return boolVal(x().CmpU(y()) > 0) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpU(y(ctx)) > 0) }
 		case ">=":
-			return func() bitvec.Value { return boolVal(x().CmpU(y()) >= 0) }
+			return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpU(y(ctx)) >= 0) }
 		}
 
 	case *isdl.Call:
 		return c.call(e)
 	}
-	return func() bitvec.Value { panicRuntime(sim, "cannot compile expression"); return bitvec.Value{} }
+	return func(ctx *execCtx) bitvec.Value {
+		panicRuntime(ctx.sim, "cannot compile expression")
+		return bitvec.Value{}
+	}
 }
 
 func (c *compiler) call(e *isdl.Call) valFn {
-	sim := c.env.sim
 	switch e.Fn {
 	case "pop":
 		name := e.Args[0].(*isdl.Ref).Name
-		return func() bitvec.Value {
-			v, err := sim.st.Pop(name)
+		return func(ctx *execCtx) bitvec.Value {
+			v, err := ctx.sim.st.Pop(name)
 			if err != nil {
-				panicRuntime(sim, "%s", err.Error())
+				panicRuntime(ctx.sim, "%s", err.Error())
 			}
 			return v
 		}
 	case "sext":
 		x := c.expr(e.Args[0])
 		w := e.W
-		return func() bitvec.Value { return x().SignExt(w) }
+		return func(ctx *execCtx) bitvec.Value { return x(ctx).SignExt(w) }
 	case "zext":
 		x := c.expr(e.Args[0])
 		w := e.W
-		return func() bitvec.Value { return x().ZeroExt(w) }
+		return func(ctx *execCtx) bitvec.Value { return x(ctx).ZeroExt(w) }
 	case "trunc":
 		x := c.expr(e.Args[0])
 		w := e.W
-		return func() bitvec.Value { return x().Trunc(w) }
+		return func(ctx *execCtx) bitvec.Value { return x(ctx).Trunc(w) }
 	case "carry":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { _, cy := x().AddCarry(y()); return boolVal(cy) }
+		return func(ctx *execCtx) bitvec.Value { _, cy := x(ctx).AddCarry(y(ctx)); return boolVal(cy) }
 	case "borrow":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { _, b := x().SubBorrow(y()); return boolVal(b) }
+		return func(ctx *execCtx) bitvec.Value { _, b := x(ctx).SubBorrow(y(ctx)); return boolVal(b) }
 	case "addov":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value {
-			a, b := x(), y()
+		return func(ctx *execCtx) bitvec.Value {
+			a, b := x(ctx), y(ctx)
 			s := a.Add(b)
 			return boolVal(a.Sign() == b.Sign() && s.Sign() != a.Sign())
 		}
 	case "subov":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value {
-			a, b := x(), y()
+		return func(ctx *execCtx) bitvec.Value {
+			a, b := x(ctx), y(ctx)
 			s := a.Sub(b)
 			return boolVal(a.Sign() != b.Sign() && s.Sign() != a.Sign())
 		}
 	case "slt":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { return boolVal(x().CmpS(y()) < 0) }
+		return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpS(y(ctx)) < 0) }
 	case "sle":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { return boolVal(x().CmpS(y()) <= 0) }
+		return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpS(y(ctx)) <= 0) }
 	case "sgt":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { return boolVal(x().CmpS(y()) > 0) }
+		return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpS(y(ctx)) > 0) }
 	case "sge":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { return boolVal(x().CmpS(y()) >= 0) }
+		return func(ctx *execCtx) bitvec.Value { return boolVal(x(ctx).CmpS(y(ctx)) >= 0) }
 	case "asr":
 		x, y := c.expr(e.Args[0]), c.expr(e.Args[1])
-		return func() bitvec.Value { return x().ShrA(int(y().Uint64())) }
+		return func(ctx *execCtx) bitvec.Value { return x(ctx).ShrA(int(y(ctx).Uint64())) }
 	case "concat":
 		fns := make([]valFn, len(e.Args))
 		for i := range e.Args {
 			fns[i] = c.expr(e.Args[i])
 		}
-		return func() bitvec.Value {
-			v := fns[0]()
+		return func(ctx *execCtx) bitvec.Value {
+			v := fns[0](ctx)
 			for _, f := range fns[1:] {
-				v = v.Concat(f())
+				v = v.Concat(f(ctx))
 			}
 			return v
 		}
 	}
-	return func() bitvec.Value { panicRuntime(sim, "unknown builtin %s", e.Fn); return bitvec.Value{} }
+	return func(ctx *execCtx) bitvec.Value {
+		panicRuntime(ctx.sim, "unknown builtin %s", e.Fn)
+		return bitvec.Value{}
+	}
 }

@@ -1,0 +1,161 @@
+package xsim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/decode"
+	"repro/internal/isdl"
+)
+
+// OpCache memoizes compiled operation closures across simulator instances
+// (the ROADMAP's compiled-core codegen cache). The exploration loop builds
+// a fresh simulator per candidate, but neighbouring candidates share
+// almost every operation definition; keying each compiled instance by
+// content — the operation's fingerprint, the state-layout fingerprint of
+// its description, and the decoded argument values — lets a new candidate
+// reuse ~all compiled ops instead of re-running compileOp per decoded
+// operation. Compiled closures address state only through the per-
+// simulator execCtx, which is what makes sharing them sound (see
+// compile.go).
+//
+// The cache is safe for concurrent use. Concurrent compilations of the
+// same key are benign: compilation is a pure function of the key, so
+// every writer stores an equivalent program.
+type OpCache struct {
+	mu      sync.Mutex
+	entries map[opKey]opProgram
+	hits    uint64
+	misses  uint64
+	// max bounds the entry count; on overflow the table is dropped
+	// wholesale (content keys repopulate it deterministically).
+	max int
+}
+
+// opKey identifies one compiled operation instance by content.
+type opKey struct {
+	layout isdl.Fingerprint
+	op     isdl.Fingerprint
+	args   string
+}
+
+// opProgram is one compiled operation instance: both phase closures.
+type opProgram struct {
+	action, side stmtFn
+}
+
+// defaultOpCacheMax bounds the shared cache; a SPAM-sized exploration
+// decodes a few hundred distinct operation instances, so this is plenty.
+const defaultOpCacheMax = 1 << 16
+
+// sharedOpCache is the process-wide cache every simulator uses unless
+// SetOpCache overrides it.
+var sharedOpCache = NewOpCache()
+
+// SharedOpCache returns the process-wide compiled-op cache (for metrics
+// reporting; exploration logs read its counters).
+func SharedOpCache() *OpCache { return sharedOpCache }
+
+// NewOpCache returns an empty compiled-op cache.
+func NewOpCache() *OpCache {
+	return &OpCache{entries: map[opKey]opProgram{}, max: defaultOpCacheMax}
+}
+
+// Stats returns the hit and miss counts so far.
+func (c *OpCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached compiled operations.
+func (c *OpCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Clear drops every entry (counters are kept).
+func (c *OpCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[opKey]opProgram{}
+}
+
+func (c *OpCache) get(k opKey) (opProgram, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+func (c *OpCache) put(k opKey, p opProgram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.max {
+		c.entries = map[opKey]opProgram{}
+	}
+	c.entries[k] = p
+}
+
+// SetOpCache selects the compiled-op cache this simulator uses; nil
+// disables sharing (every decode compiles fresh). Call it before the
+// first instruction is decoded.
+func (sim *Simulator) SetOpCache(c *OpCache) { sim.opc = c }
+
+// compiledFor returns the compiled phases for a decoded operation
+// instance, consulting the op cache when one is configured.
+func (sim *Simulator) compiledFor(dop *decode.Op, opEnv *env) (action, side stmtFn) {
+	if sim.opc == nil {
+		return compileOp(sim.cc, opEnv)
+	}
+	key := opKey{layout: sim.layoutFP, op: sim.opFP(dop.Op), args: argKeyString(dop.Args)}
+	if p, ok := sim.opc.get(key); ok {
+		return p.action, p.side
+	}
+	action, side = compileOp(sim.cc, opEnv)
+	sim.opc.put(key, opProgram{action: action, side: side})
+	return action, side
+}
+
+// opFP memoizes per-operation content fingerprints for this simulator's
+// description (fingerprinting walks the canonical text; the ops are fixed
+// for a description, so compute each once).
+func (sim *Simulator) opFP(op *isdl.Operation) isdl.Fingerprint {
+	if fp, ok := sim.opFPs[op]; ok {
+		return fp
+	}
+	fp := isdl.OpFingerprint(op)
+	sim.opFPs[op] = fp
+	return fp
+}
+
+// argKeyString encodes a decoded argument tree: token values verbatim,
+// non-terminal choices as the option index plus the option's own
+// arguments. Together with the op fingerprint (which covers reachable
+// non-terminal definitions) this pins down everything a compiled instance
+// captured.
+func argKeyString(args []decode.Arg) string {
+	var sb strings.Builder
+	writeArgKey(&sb, args)
+	return sb.String()
+}
+
+func writeArgKey(sb *strings.Builder, args []decode.Arg) {
+	for i := range args {
+		a := &args[i]
+		if a.Option != nil {
+			fmt.Fprintf(sb, "o%d(", a.Option.Index)
+			writeArgKey(sb, a.Sub)
+			sb.WriteByte(')')
+			continue
+		}
+		fmt.Fprintf(sb, "t%d:%s;", a.Value.Width(), a.Value.BitString())
+	}
+}

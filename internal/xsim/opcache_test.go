@@ -1,0 +1,166 @@
+package xsim
+
+// White-box tests for the two load-path caches: the compiled-op closure
+// cache shared across simulators, and decode-cache survival across Load.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isdl"
+	"repro/internal/machines"
+)
+
+const opcProg = `
+    mv R1, #5
+    mv R2, #3
+    add R3, R1, R2
+    halt
+`
+
+func mustAssemble(t *testing.T, d *isdl.Description, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(d, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runToHalt(t *testing.T, sim *Simulator, p *asm.Program) {
+	t.Helper()
+	if err := sim.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadKeepsDecodeCacheForSameImage: reloading an identical program
+// image keeps the dense decode entries; a different image drops them.
+func TestLoadKeepsDecodeCacheForSameImage(t *testing.T) {
+	d := machines.Toy()
+	p1 := mustAssemble(t, d, opcProg)
+	p2 := mustAssemble(t, d, "mv R1, #7\n halt")
+
+	sim := New(d)
+	runToHalt(t, sim, p1)
+	before, err := sim.fetch(p1.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same image: the decode entry must survive the reload.
+	if err := sim.Load(p1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sim.fetch(p1.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Error("reload with identical image re-decoded the program")
+	}
+
+	// Different image: every decode entry must be dropped.
+	if err := sim.Load(p2); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := sim.fetch(p2.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == before {
+		t.Error("reload with different image kept a stale decode")
+	}
+
+	// The reloaded program still runs correctly from the kept state.
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.State().Get("RF", 1).Uint64(); got != 7 {
+		t.Errorf("after reload R1 = %d, want 7", got)
+	}
+}
+
+// TestOpCacheReuseAcrossSimulators: a second simulator built from an
+// independently parsed but textually identical description compiles
+// nothing — every decoded operation instance hits the shared cache.
+func TestOpCacheReuseAcrossSimulators(t *testing.T) {
+	d1 := machines.Toy()
+	d2, err := isdl.Parse(isdl.Format(d1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opc := NewOpCache()
+	sim1 := New(d1)
+	sim1.SetOpCache(opc)
+	runToHalt(t, sim1, mustAssemble(t, d1, opcProg))
+	hits1, misses1 := opc.Stats()
+	if misses1 == 0 {
+		t.Fatal("first simulator compiled nothing")
+	}
+
+	sim2 := New(d2)
+	sim2.SetOpCache(opc)
+	runToHalt(t, sim2, mustAssemble(t, d2, opcProg))
+	hits2, misses2 := opc.Stats()
+	if misses2 != misses1 {
+		t.Errorf("equivalent description recompiled %d ops; want full reuse", misses2-misses1)
+	}
+	if hits2-hits1 != misses1 {
+		t.Errorf("second simulator hit %d times, want %d (one per decoded instance)", hits2-hits1, misses1)
+	}
+
+	// Cached closures must execute correctly on the second simulator.
+	if got := sim2.State().Get("RF", 3).Uint64(); got != 8 {
+		t.Errorf("cached-closure run: R3 = %d, want 8", got)
+	}
+	if sim1.Cycle() != sim2.Cycle() {
+		t.Errorf("cycle counts differ: %d vs %d", sim1.Cycle(), sim2.Cycle())
+	}
+}
+
+// TestOpCacheInvalidatesChangedOpsOnly: changing one operation's body
+// recompiles exactly the decoded instances of that operation; every other
+// instance still hits.
+func TestOpCacheInvalidatesChangedOpsOnly(t *testing.T) {
+	d1 := machines.Toy()
+	mut := machines.Toy()
+	mut.Fields[0].ByName["add"].Timing.Latency++
+	d2, err := isdl.Parse(isdl.Format(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opc := NewOpCache()
+	sim1 := New(d1)
+	sim1.SetOpCache(opc)
+	runToHalt(t, sim1, mustAssemble(t, d1, opcProg))
+	_, misses1 := opc.Stats()
+
+	sim2 := New(d2)
+	sim2.SetOpCache(opc)
+	runToHalt(t, sim2, mustAssemble(t, d2, opcProg))
+	_, misses2 := opc.Stats()
+
+	// The program decodes exactly one instance of the changed op ("add");
+	// mv, mv, halt must all reuse their compiled closures.
+	if got := misses2 - misses1; got != 1 {
+		t.Errorf("op-body change recompiled %d instances, want exactly 1 (the changed op)", got)
+	}
+}
+
+// TestOpCacheDisabled: SetOpCache(nil) compiles fresh per decode and the
+// simulator still runs correctly.
+func TestOpCacheDisabled(t *testing.T) {
+	d := machines.Toy()
+	sim := New(d)
+	sim.SetOpCache(nil)
+	runToHalt(t, sim, mustAssemble(t, d, opcProg))
+	if got := sim.State().Get("RF", 3).Uint64(); got != 8 {
+		t.Errorf("R3 = %d, want 8", got)
+	}
+}

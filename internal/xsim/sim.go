@@ -142,10 +142,20 @@ type Simulator struct {
 	phaseBuf   []phase
 	// handles bypass name lookup on the hot path; resolved once at
 	// construction (they stay valid across Reset).
-	handles   map[*isdl.Storage]state.Handle
-	aliasH    map[*isdl.Alias]state.Handle
-	pcH       state.Handle
-	imH       state.Handle
+	handles map[*isdl.Storage]state.Handle
+	aliasH  map[*isdl.Alias]state.Handle
+	pcH     state.Handle
+	imH     state.Handle
+	// Compiled-core plumbing: ctx is the execution context compiled
+	// closures run against, cc resolves AST references to layout positions
+	// at compile time, opc is the (shareable) compiled-op cache with its
+	// per-description fingerprint memo and the layout fingerprint half of
+	// its keys.
+	ctx       *execCtx
+	cc        *compileCtx
+	opc       *OpCache
+	opFPs     map[*isdl.Operation]isdl.Fingerprint
+	layoutFP  isdl.Fingerprint
 	pcName    string
 	imName    string
 	haltName  string // storage that halts the machine when non-zero
@@ -203,6 +213,21 @@ func New(d *isdl.Description) *Simulator {
 	}
 	sim.pcH = sim.handles[d.PC()]
 	sim.imH = sim.handles[d.InstructionMemory()]
+	sim.ctx = &execCtx{
+		sim:    sim,
+		stH:    make([]state.Handle, len(d.Storage)),
+		aliasH: make([]state.Handle, len(d.Aliases)),
+	}
+	for i, st := range d.Storage {
+		sim.ctx.stH[i] = sim.handles[st]
+	}
+	for i, a := range d.Aliases {
+		sim.ctx.aliasH[i] = sim.aliasH[a]
+	}
+	sim.cc = newCompileCtx(d)
+	sim.opc = sharedOpCache
+	sim.opFPs = map[*isdl.Operation]isdl.Fingerprint{}
+	sim.layoutFP = isdl.LayoutFingerprint(d)
 	if _, ok := d.StorageByName["HLT"]; ok {
 		sim.haltName = "HLT"
 	}
@@ -286,14 +311,28 @@ func (sim *Simulator) Breakpoints() []int {
 // Load loads an assembled program: instruction memory, data initializers,
 // and the PC set to the load base (or the "start"/"main" symbol if
 // defined). It resets machine state but keeps monitors and breakpoints.
+//
+// When the incoming image is identical to the one already loaded (same
+// base, length and words), the dense decode cache survives: reload loops
+// over one program (benchmark harnesses, repeated co-simulation runs)
+// skip the whole re-decode. The comparison runs against current memory
+// contents, so self-modified images never keep stale decodes. Map-
+// overflow decodes (addresses outside the image) are always dropped —
+// Reset clears the memory they decoded from. To force a full re-decode
+// (e.g. after flipping CompiledCore), call Reset before Load.
 func (sim *Simulator) Load(p *asm.Program) error {
-	sim.Reset()
+	keep := sim.sameImage(p)
+	sim.reset(keep)
 	// Size the dense decode window to the program image; repeated Loads of
-	// same-sized programs reuse the slice (Reset already cleared it).
+	// same-sized programs reuse the slice. When the image changed, clear
+	// after resizing so a grow-within-capacity never exposes stale decodes
+	// past the previous length.
 	sim.denseBase = p.Base
 	if n := len(p.Words); n <= cap(sim.dense) {
 		sim.dense = sim.dense[:n]
-		clear(sim.dense)
+		if !keep {
+			clear(sim.dense)
+		}
 	} else {
 		sim.dense = make([]*instInfo, n)
 	}
@@ -316,12 +355,38 @@ func (sim *Simulator) Load(p *asm.Program) error {
 	return nil
 }
 
+// sameImage reports whether the program's instruction image is identical
+// to the one currently decoded: same base, same length, and every word
+// equal to current instruction-memory contents (so self-modifying runs
+// compare against what the decodes actually came from).
+func (sim *Simulator) sameImage(p *asm.Program) bool {
+	if sim.denseBase != p.Base || len(sim.dense) != len(p.Words) {
+		return false
+	}
+	for i, w := range p.Words {
+		if !sim.imH.Get(p.Base + i).Eq(w) {
+			return false
+		}
+	}
+	return true
+}
+
 // Reset clears machine state, statistics and the decode cache. Storage is
 // reused in place — no maps or slices are reallocated — so Load-heavy loops
 // (benchmark harnesses, repeated co-simulation runs) stay allocation-free.
 func (sim *Simulator) Reset() {
+	sim.reset(false)
+}
+
+// reset is Reset with the option to keep the dense decode cache, used by
+// Load when the incoming image is unchanged. The map-overflow decodes are
+// always dropped: they cover addresses outside the loaded image, whose
+// contents the state reset clears.
+func (sim *Simulator) reset(keepDecodes bool) {
 	sim.st.Reset()
-	clear(sim.dense)
+	if !keepDecodes {
+		clear(sim.dense)
+	}
 	clear(sim.cacheOv)
 	// Keep the per-operation counters (the operations belong to the fixed
 	// description) and zero them through the shared pointers, so cached
@@ -384,7 +449,7 @@ func (sim *Simulator) fetch(pc int) (*instInfo, error) {
 		}
 		oi.env.op = dop.Op
 		if sim.CompiledCore {
-			oi.actionFn, oi.sideFn = compileOp(oi.env)
+			oi.actionFn, oi.sideFn = sim.compiledFor(dop, oi.env)
 		}
 		addOptionCosts(&oi, dop.Args)
 		oi.reads = readSet(sim, dop)
@@ -528,9 +593,9 @@ func (sim *Simulator) execPhase(ii *instInfo, issue uint64, sideEffects bool) er
 		if oi.actionFn != nil {
 			// Compiled core: option side effects are folded into sideFn.
 			if sideEffects {
-				oi.sideFn(&phases[i])
+				oi.sideFn(sim.ctx, &phases[i])
 			} else {
-				oi.actionFn(&phases[i])
+				oi.actionFn(sim.ctx, &phases[i])
 			}
 			continue
 		}
