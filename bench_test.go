@@ -17,6 +17,7 @@ import (
 	"repro/internal/hgen"
 	"repro/internal/isdl"
 	"repro/internal/machines"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/verilog"
 	"repro/internal/xsim"
@@ -230,9 +231,11 @@ func BenchmarkParseISDL(b *testing.B) {
 // benchExplore measures the whole iterative-improvement loop on SPAM —
 // every neighbour candidate runs the full parse → compile → assemble →
 // simulate → synthesize pipeline — under the given concurrency and
-// memoization knobs. All variants produce bit-identical results (asserted
-// by TestExploreParallelDeterministic).
-func benchExplore(b *testing.B, workers int, cached bool) {
+// memoization knobs, optionally with a live obs.Registry collecting every
+// metric and span. All variants produce bit-identical results (asserted
+// by TestExploreParallelDeterministic and
+// TestExploreInstrumentedExactCounters).
+func benchExplore(b *testing.B, workers int, cached, instrumented bool) {
 	const kernel = "var i, s;\ns = 0;\nfor i = 0 to 7 { s = s + i; }\n"
 	b.ResetTimer()
 	var evaluated int
@@ -245,6 +248,9 @@ func benchExplore(b *testing.B, workers int, cached bool) {
 			Workers:  workers,
 			NoCache:  !cached,
 		}
+		if instrumented {
+			ex.Obs = obs.NewRegistry()
+		}
 		res, err := ex.Run()
 		if err != nil {
 			b.Fatal(err)
@@ -256,12 +262,15 @@ func benchExplore(b *testing.B, workers int, cached bool) {
 
 // BenchmarkExplore_SPAM is the exploration-throughput benchmark: the
 // sequential/uncached row is the pre-PR baseline, the parallel/cached row
-// the full engine.
+// the full engine. The -obs rows run with a live metrics registry —
+// compare par-cache with par-cache-obs for the instrumentation overhead
+// (budgeted at ≤ 5%).
 func BenchmarkExplore_SPAM(b *testing.B) {
-	b.Run("seq", func(b *testing.B) { benchExplore(b, 1, false) })
-	b.Run("seq-cache", func(b *testing.B) { benchExplore(b, 1, true) })
-	b.Run("par", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), false) })
-	b.Run("par-cache", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), true) })
+	b.Run("seq", func(b *testing.B) { benchExplore(b, 1, false, false) })
+	b.Run("seq-cache", func(b *testing.B) { benchExplore(b, 1, true, false) })
+	b.Run("par", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), false, false) })
+	b.Run("par-cache", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), true, false) })
+	b.Run("par-cache-obs", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), true, true) })
 }
 
 // --- Extension: §6.2 pipeline retiming ---------------------------------------

@@ -15,17 +15,24 @@
 // (compile, simulate, synthesize) across invocations: the file is loaded
 // if it exists and rewritten on success, so a repeated exploration starts
 // with compilation and synthesis fully warm.
+//
+// The run is instrumented end to end (docs/OBSERVABILITY.md): -trace-out
+// writes a Chrome trace_event file (open in chrome://tracing or
+// ui.perfetto.dev), -metrics-out writes the metrics registry as JSON, and
+// a summary table of counters and per-stage latencies goes to stderr.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/xsim"
 )
 
@@ -40,6 +47,9 @@ func main() {
 	wRun := flag.Float64("w-runtime", 1, "objective weight: run time (us)")
 	wArea := flag.Float64("w-area", 0.5, "objective weight: area (10k grid cells)")
 	wPow := flag.Float64("w-power", 0.2, "objective weight: power (mW)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry as JSON here")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file here (chrome://tracing, Perfetto)")
+	quietObs := flag.Bool("no-summary", false, "suppress the metrics summary table on stderr")
 	flag.Parse()
 	if *machine == "" || *kernelFile == "" {
 		fmt.Fprintln(os.Stderr, "usage: explore -m <machine> -k <kernel.k> [-iters n] [-o best.isdl]")
@@ -66,6 +76,7 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
 	ex := &repro.Explorer{
 		Base:     baseSrc,
 		Kernel:   string(kernel),
@@ -74,11 +85,30 @@ func main() {
 		Workers:  *workers,
 		NoCache:  *noCache,
 		Cache:    cache,
-		Log:      func(s string) { fmt.Println(s) },
+		Log:      func(ev explore.Event) { fmt.Println(ev.Line) },
+		Obs:      reg,
 	}
 	res, err := ex.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if !*quietObs {
+		fmt.Fprintln(os.Stderr)
+		if err := reg.WriteText(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, reg.WriteMetricsJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, reg.WriteTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 	fmt.Println()
 	fmt.Print(res.Report())
@@ -99,6 +129,19 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// writeFileWith streams one of the registry exporters into a file.
+func writeFileWith(name string, write func(io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadSource(arg string) (string, error) {

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/xsim"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	source := flag.String("s", "", "assembly source to assemble and load")
 	batch := flag.String("batch", "", "batch command script to execute")
 	run := flag.Bool("run", false, "run to halt and print statistics")
+	metricsOut := flag.String("metrics-out", "", "write simulator perf counters as metrics JSON here")
 	flag.Parse()
 	if *machine == "" {
 		fmt.Fprintln(os.Stderr, "usage: xsim -m <machine> [-s prog.s | prog.xbin] [-batch script] [-run]")
@@ -73,8 +75,28 @@ func main() {
 		if err := sess.Execute("stats"); err != nil {
 			fatal(err)
 		}
+		if err := sess.Execute("perf"); err != nil {
+			fatal(err)
+		}
 	default:
 		sess.REPL(os.Stdin)
+	}
+
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		sim.Perf().Publish(reg)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteMetricsJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s\n", *metricsOut)
 	}
 }
 

@@ -34,7 +34,7 @@ func main() {
 		Kernel:   kernel,
 		Weights:  explore.DefaultWeights(),
 		MaxIters: 6,
-		Log:      func(s string) { fmt.Println(s) },
+		Log:      func(ev explore.Event) { fmt.Println(ev.Line) },
 	}
 	res, err := ex.Run()
 	if err != nil {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Stage enumerates the evaluation pipeline's stages (docs/PIPELINE.md).
@@ -119,12 +121,18 @@ type StageStats struct {
 // use a fresh cache per configuration. Entries never expire otherwise: a
 // stage's inputs fully determine its deterministic result.
 //
+// Hit and miss counts live in obs.Counter instruments: standalone ones by
+// default, or — after Bind — counters owned by an obs.Registry, so cache
+// traffic appears in exported metrics under cache.<stage>.hits/.misses.
+//
 // Cached artifacts are shared across callers (and goroutines) and must be
 // treated as immutable.
 type StageCache struct {
 	mu     sync.Mutex
 	tables [NumStages]map[CacheKey]stageEntry
-	stats  [NumStages]StageStats
+	hits   [NumStages]*obs.Counter
+	misses [NumStages]*obs.Counter
+	bound  *obs.Registry // registry the counters live in, nil if standalone
 }
 
 // NewStageCache returns an empty cache.
@@ -132,8 +140,37 @@ func NewStageCache() *StageCache {
 	c := &StageCache{}
 	for i := range c.tables {
 		c.tables[i] = map[CacheKey]stageEntry{}
+		c.hits[i] = obs.NewCounter()
+		c.misses[i] = obs.NewCounter()
 	}
 	return c
+}
+
+// Bind re-homes the cache's hit/miss counters into a registry, under
+// cache.<stage>.hits and cache.<stage>.misses. Counts accumulated so far
+// carry over, and every future Get/countRun lands in the registry's
+// counters, so cache traffic shows up in its exports. Binding the same
+// registry again is a no-op (so repeated Explorer.Run calls over a shared
+// cache never double-count); binding a different registry migrates the
+// current counts there.
+func (c *StageCache) Bind(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bound == r {
+		return
+	}
+	c.bound = r
+	for s := Stage(0); s < NumStages; s++ {
+		h := r.Counter("cache." + s.String() + ".hits")
+		h.Add(c.hits[s].Value())
+		c.hits[s] = h
+		m := r.Counter("cache." + s.String() + ".misses")
+		m.Add(c.misses[s].Value())
+		c.misses[s] = m
+	}
 }
 
 // Get looks up a stage's key, counting a hit or a miss. On a hit it
@@ -143,9 +180,9 @@ func (c *StageCache) Get(s Stage, k CacheKey) (val any, err error, ok bool) {
 	defer c.mu.Unlock()
 	e, ok := c.tables[s][k]
 	if ok {
-		c.stats[s].Hits++
+		c.hits[s].Inc()
 	} else {
-		c.stats[s].Misses++
+		c.misses[s].Inc()
 	}
 	return e.val, e.err, ok
 }
@@ -164,7 +201,7 @@ func (c *StageCache) Put(s Stage, k CacheKey, val any, err error) {
 func (c *StageCache) countRun(s Stage) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats[s].Misses++
+	c.misses[s].Inc()
 }
 
 // PerStage returns the hit and miss counts of every stage, indexed by
@@ -172,14 +209,17 @@ func (c *StageCache) countRun(s Stage) {
 func (c *StageCache) PerStage() [NumStages]StageStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	var out [NumStages]StageStats
+	for s := range out {
+		out[s] = StageStats{Hits: c.hits[s].Value(), Misses: c.misses[s].Value()}
+	}
+	return out
 }
 
 // Stats returns the aggregate hit and miss counts across all stages.
 func (c *StageCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, s := range c.stats {
+	ps := c.PerStage()
+	for _, s := range ps {
 		hits += s.Hits
 		misses += s.Misses
 	}

@@ -19,8 +19,9 @@ import (
 
 // persistVersion guards the on-disk format; bump it whenever a persisted
 // artifact's shape or a stage key's composition changes, so stale caches
-// are rejected instead of silently misread.
-const persistVersion = 1
+// are rejected instead of silently misread. Version 2: the Synthesize
+// stage keys by isdl.SynthFingerprint instead of the canonical text.
+const persistVersion = 2
 
 // persistedEntry is one stage artifact on disk. Exactly one of the value
 // fields (or Err, for a memoized deterministic failure) is set, matching

@@ -15,11 +15,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/compiler"
 	"repro/internal/hgen"
 	"repro/internal/isdl"
+	"repro/internal/obs"
 	"repro/internal/xsim"
 )
 
@@ -50,6 +52,13 @@ type Pipeline struct {
 	// Cache memoizes stage artifacts; nil runs every stage every time.
 	// The cache is only valid for one Evaluator configuration.
 	Cache *StageCache
+	// Obs receives per-stage latency histograms (stage.<name>.ns),
+	// in-flight gauges (pipeline.<name>.inflight), one span per executed
+	// stage, simulator perf counters and synthesis phase timings. Nil
+	// disables instrumentation entirely (no clock reads on the hot path).
+	// Obs does not bind the Cache's hit/miss counters — call
+	// Cache.Bind(Obs) for that.
+	Obs *obs.Registry
 }
 
 // EvaluateKernel runs the full pipeline for one candidate ISDL source and
@@ -60,6 +69,14 @@ type Pipeline struct {
 // deterministic failures are memoized under the final key too, so an
 // infeasible candidate is rejected once per cache lifetime.
 func (p *Pipeline) EvaluateKernel(isdlSrc, kernel, workload string) (*Evaluation, error) {
+	return p.EvaluateKernelTraced(isdlSrc, kernel, workload, nil)
+}
+
+// EvaluateKernelTraced is EvaluateKernel with span linkage: executed
+// stages become children of parent in the exported trace (the explorer
+// passes its per-candidate span). A nil parent starts stage spans at the
+// root; with a nil Obs registry it behaves exactly like EvaluateKernel.
+func (p *Pipeline) EvaluateKernelTraced(isdlSrc, kernel, workload string, parent *obs.Span) (*Evaluation, error) {
 	ev := p.Evaluator
 	if ev == nil {
 		ev = NewEvaluator()
@@ -71,7 +88,14 @@ func (p *Pipeline) EvaluateKernel(isdlSrc, kernel, workload string) (*Evaluation
 	if c != nil {
 		c.countRun(StageParse)
 	}
+	var start time.Time
+	if p.Obs != nil {
+		start = time.Now()
+	}
 	d, err := isdl.Parse(isdlSrc)
+	if p.Obs != nil {
+		p.Obs.Histogram("stage.parse.ns").Observe(time.Since(start))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: parse ISDL: %w", err)
 	}
@@ -84,7 +108,7 @@ func (p *Pipeline) EvaluateKernel(isdlSrc, kernel, workload string) (*Evaluation
 			return e, err
 		}
 	}
-	e, err := p.runStages(ev, c, d, canonical, kernel, workload)
+	e, err := p.runStages(ev, c, d, canonical, kernel, workload, parent)
 	if c != nil {
 		c.Put(StageCombine, finalKey, e, err)
 	}
@@ -92,9 +116,9 @@ func (p *Pipeline) EvaluateKernel(isdlSrc, kernel, workload string) (*Evaluation
 }
 
 // runStages is the post-parse pipeline; every stage memoized individually.
-func (p *Pipeline) runStages(ev *Evaluator, c *StageCache, d *isdl.Description, canonical, kernel, workload string) (*Evaluation, error) {
+func (p *Pipeline) runStages(ev *Evaluator, c *StageCache, d *isdl.Description, canonical, kernel, workload string, parent *obs.Span) (*Evaluation, error) {
 	// CompileKernel: (canonical ISDL, kernel) → assembly text.
-	asmText, err := stageRun(c, StageCompile, StageKey(StageCompile, canonical, kernel), func() (string, error) {
+	asmText, err := stageRun(p, parent, StageCompile, StageKey(StageCompile, canonical, kernel), func() (string, error) {
 		return compiler.Compile(d, kernel)
 	})
 	if err != nil {
@@ -106,7 +130,7 @@ func (p *Pipeline) runStages(ev *Evaluator, c *StageCache, d *isdl.Description, 
 	// the key. A cached program may have been assembled against an
 	// earlier, textually identical parse of the description; programs are
 	// read-only after assembly, so sharing is sound.
-	prog, err := stageRun(c, StageAssemble, StageKey(StageAssemble, canonical, kernel), func() (*asm.Program, error) {
+	prog, err := stageRun(p, parent, StageAssemble, StageKey(StageAssemble, canonical, kernel), func() (*asm.Program, error) {
 		return asm.Assemble(d, asmText)
 	})
 	if err != nil {
@@ -118,19 +142,32 @@ func (p *Pipeline) runStages(ev *Evaluator, c *StageCache, d *isdl.Description, 
 	// hand-written or hand-optimized assembly share entries with compiled
 	// kernels that produce the same program.
 	img := asm.Marshal(prog)
-	simArt, err := stageRun(c, StageSimulate, StageKey(StageSimulate, canonical, string(img)), func() (SimArtifact, error) {
-		return runSimulation(d, prog, ev.MaxInstructions, workload)
+	simArt, err := stageRun(p, parent, StageSimulate, StageKey(StageSimulate, canonical, string(img)), func() (SimArtifact, error) {
+		return runSimulation(d, prog, ev.MaxInstructions, workload, p.Obs)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Synthesize: canonical ISDL only — independent of the workload, so a
-	// kernel change reuses the hardware model.
-	synthArt, err := stageRun(c, StageSynthesize, StageKey(StageSynthesize, canonical), func() (SynthArtifact, error) {
+	// Synthesize: independent of the workload, so a kernel change reuses
+	// the hardware model — and keyed by the structural fingerprint of what
+	// synthesis actually reads (layout, RTL, costs, signature shapes), not
+	// the whole canonical text, so an encoding-only mutation (opcode
+	// reassignment) reuses the artifact too. Verilog emission embeds the
+	// opcode values, so that mode keys by the full canonical text.
+	synthKey := StageKey(StageSynthesize, "fp", isdl.SynthFingerprint(d).String())
+	if ev.Synthesis.EmitVerilog {
+		synthKey = StageKey(StageSynthesize, canonical)
+	}
+	synthArt, err := stageRun(p, parent, StageSynthesize, synthKey, func() (SynthArtifact, error) {
 		hw, err := hgen.Synthesize(d, ev.Lib, ev.Synthesis)
 		if err != nil {
 			return SynthArtifact{}, fmt.Errorf("core: synthesize: %w", err)
+		}
+		if p.Obs != nil {
+			for ph, sec := range hw.PhaseSeconds {
+				p.Obs.Histogram("synth." + ph + ".ns").ObserveNs(sec * 1e9)
+			}
 		}
 		return SynthArtifact{
 			CycleNs:          hw.CycleNs,
@@ -145,12 +182,22 @@ func (p *Pipeline) runStages(ev *Evaluator, c *StageCache, d *isdl.Description, 
 
 	// Combine: pure arithmetic over the two artifacts; not cached on its
 	// own (the final key memoizes the result in EvaluateKernel).
-	return combineArtifacts(d.Name, workload, simArt, synthArt, ev.Lib), nil
+	var start time.Time
+	if p.Obs != nil {
+		start = time.Now()
+	}
+	e := combineArtifacts(d.Name, workload, simArt, synthArt, ev.Lib)
+	if p.Obs != nil {
+		p.Obs.Histogram("stage.combine.ns").Observe(time.Since(start))
+	}
+	return e, nil
 }
 
 // runSimulation executes a program on a fresh simulator and detaches the
-// measurements.
-func runSimulation(d *isdl.Description, prog *asm.Program, limit int64, workload string) (SimArtifact, error) {
+// measurements; the simulator's own perf counters are published into the
+// registry (they are per-run deltas here, so repeated publishes sum to the
+// total simulated work).
+func runSimulation(d *isdl.Description, prog *asm.Program, limit int64, workload string, r *obs.Registry) (SimArtifact, error) {
 	sim := xsim.New(d)
 	if err := sim.Load(prog); err != nil {
 		return SimArtifact{}, fmt.Errorf("core: load: %w", err)
@@ -158,7 +205,11 @@ func runSimulation(d *isdl.Description, prog *asm.Program, limit int64, workload
 	if limit <= 0 {
 		limit = 100_000_000
 	}
-	if err := sim.Run(limit); err != nil {
+	err := sim.Run(limit)
+	if r != nil {
+		sim.Perf().Publish(r)
+	}
+	if err != nil {
 		return SimArtifact{}, fmt.Errorf("core: simulate: %w", err)
 	}
 	if !sim.Halted() {
@@ -168,17 +219,42 @@ func runSimulation(d *isdl.Description, prog *asm.Program, limit int64, workload
 }
 
 // stageRun memoizes one stage execution: on a cache miss it runs the
-// stage and stores the artifact (or the deterministic error) under the
-// key. With a nil cache it just runs the stage.
-func stageRun[T any](c *StageCache, s Stage, k CacheKey, run func() (T, error)) (T, error) {
-	if c == nil {
-		return run()
+// stage — instrumented with a latency histogram, an in-flight gauge and a
+// span when the pipeline has a registry — and stores the artifact (or the
+// deterministic error) under the key. With a nil cache it just runs the
+// stage.
+func stageRun[T any](p *Pipeline, parent *obs.Span, s Stage, k CacheKey, run func() (T, error)) (T, error) {
+	c := p.Cache
+	if c != nil {
+		if v, err, ok := c.Get(s, k); ok {
+			t, _ := v.(T)
+			return t, err
+		}
 	}
-	if v, err, ok := c.Get(s, k); ok {
-		t, _ := v.(T)
-		return t, err
+	r := p.Obs
+	var sp *obs.Span
+	var start time.Time
+	if r != nil {
+		if parent != nil {
+			sp = parent.Child(s.String())
+		} else {
+			sp = r.StartSpan(s.String())
+		}
+		r.Gauge("pipeline." + s.String() + ".inflight").Add(1)
+		start = time.Now()
 	}
 	t, err := run()
+	if r != nil {
+		r.Histogram("stage." + s.String() + ".ns").Observe(time.Since(start))
+		r.Gauge("pipeline." + s.String() + ".inflight").Add(-1)
+		if err != nil {
+			sp.SetArg("err", err.Error())
+		}
+		sp.End()
+	}
+	if c == nil {
+		return t, err
+	}
 	if err != nil {
 		var zero T
 		c.Put(s, k, zero, err)

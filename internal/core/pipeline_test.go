@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/isdl"
 	"repro/internal/machines"
+	"repro/internal/obs"
 )
 
 const pipeKernelA = "var x, y;\nx = 2;\ny = x + 3;\n"
@@ -87,6 +89,125 @@ func TestPipelineStageKeyComposition(t *testing.T) {
 	wantStage(t, d, StageCombine, 0, 1)
 	if kb.CycleNs != base.CycleNs || kb.AreaCells != base.AreaCells {
 		t.Error("kernel-only change altered the hardware figures")
+	}
+}
+
+// TestPipelineSynthKeyIgnoresEncoding: the Synthesize stage keys by the
+// structural fingerprint of what synthesis reads, so an encoding-only
+// mutation (reassigning opcodes) reuses the hardware artifact while the
+// workload-dependent stages (whose output bits change) re-run.
+func TestPipelineSynthKeyIgnoresEncoding(t *testing.T) {
+	d := machines.SPAM()
+	base := isdl.Format(d)
+
+	// Swap the ALU add/sub opcode constants — decode stays unambiguous,
+	// program images change, hardware structure does not.
+	var add, sub *isdl.Operation
+	for _, f := range d.Fields {
+		if f.ByName["add"] != nil && f.ByName["sub"] != nil {
+			add, sub = f.ByName["add"], f.ByName["sub"]
+			break
+		}
+	}
+	if add == nil || sub == nil || !add.Encode[0].ConstSet || !sub.Encode[0].ConstSet {
+		t.Fatal("SPAM ALU add/sub opcode layout changed; update this test")
+	}
+	add.Encode[0].Const, sub.Encode[0].Const = sub.Encode[0].Const, add.Encode[0].Const
+	mutated := isdl.Format(d)
+	if mutated == base {
+		t.Fatal("opcode swap did not change the canonical text")
+	}
+
+	cache := NewStageCache()
+	pipe := &Pipeline{Cache: cache}
+	e1, err := pipe.EvaluateKernel(base, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := cache.PerStage()
+	e2, err := pipe.EvaluateKernel(mutated, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := statsDelta(snap, cache.PerStage())
+	wantStage(t, delta, StageSynthesize, 1, 0)
+	wantStage(t, delta, StageCompile, 0, 1)
+	wantStage(t, delta, StageSimulate, 0, 1)
+	wantStage(t, delta, StageCombine, 0, 1)
+	if e2.CycleNs != e1.CycleNs || e2.AreaCells != e1.AreaCells {
+		t.Error("encoding-only change altered the hardware figures")
+	}
+	if e2.Cycles != e1.Cycles {
+		t.Errorf("opcode reassignment changed the cycle count: %d vs %d", e2.Cycles, e1.Cycles)
+	}
+}
+
+// TestPipelineInstrumentation: with a registry configured, every executed
+// stage leaves a latency histogram, a balanced in-flight gauge and a span;
+// simulator perf counters and synthesis phase timings are published; and
+// Bind re-homes the cache counters so hits/misses appear in the metrics.
+func TestPipelineInstrumentation(t *testing.T) {
+	src := toyCanonical(t)
+	reg := obs.NewRegistry()
+	cache := NewStageCache()
+	pipe := &Pipeline{Cache: cache, Obs: reg}
+	if _, err := pipe.EvaluateKernel(src, pipeKernelA, "kernel"); err != nil {
+		t.Fatal(err)
+	}
+
+	hists := reg.Histograms()
+	for _, name := range []string{"stage.parse.ns", "stage.compile.ns", "stage.assemble.ns",
+		"stage.simulate.ns", "stage.synthesize.ns", "stage.combine.ns",
+		"synth.share.ns", "synth.retime.ns"} {
+		if hists[name].Count == 0 {
+			t.Errorf("histogram %s not recorded", name)
+		}
+	}
+	for name, v := range reg.Gauges() {
+		if v != 0 {
+			t.Errorf("gauge %s = %d after completion, want 0", name, v)
+		}
+	}
+	counters := reg.Counters()
+	if counters["xsim.instructions"] == 0 {
+		t.Error("simulator perf counters not published")
+	}
+	spans := reg.Spans()
+	if len(spans) != 4 { // compile, assemble, simulate, synthesize
+		t.Errorf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+
+	// Span linkage: a parent span makes stage spans its children.
+	parent := reg.StartSpan("candidate")
+	if _, err := pipe.EvaluateKernelTraced(src, pipeKernelB, "kernel", parent); err != nil {
+		t.Fatal(err)
+	}
+	parent.End()
+	var linked int
+	for _, s := range reg.Spans() {
+		if s.Parent != 0 {
+			linked++
+		}
+	}
+	// Compile, assemble, simulate re-ran under the parent; synthesize hit.
+	if linked != 3 {
+		t.Errorf("got %d child spans, want 3", linked)
+	}
+
+	// Bind carries accumulated counts into the registry.
+	cache.Bind(reg)
+	counters = reg.Counters()
+	ps := cache.PerStage()
+	if counters["cache.synthesize.hits"] != ps[StageSynthesize].Hits || ps[StageSynthesize].Hits == 0 {
+		t.Errorf("bound hit counter = %d, want %d", counters["cache.synthesize.hits"], ps[StageSynthesize].Hits)
+	}
+	// Post-bind traffic lands in the registry counters too.
+	if _, err := pipe.EvaluateKernel(src, pipeKernelA, "kernel"); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Counters()
+	if after["cache.combine.hits"] != counters["cache.combine.hits"]+1 {
+		t.Errorf("post-bind combine hits = %d, want %d", after["cache.combine.hits"], counters["cache.combine.hits"]+1)
 	}
 }
 
@@ -183,7 +304,11 @@ func TestStageCachePersistenceRoundTrip(t *testing.T) {
 	}
 
 	// Version skew is rejected instead of misread.
-	skew := strings.Replace(blob.String(), `"version":1`, `"version":99`, 1)
+	cur := fmt.Sprintf(`"version":%d`, persistVersion)
+	skew := strings.Replace(blob.String(), cur, `"version":99`, 1)
+	if skew == blob.String() {
+		t.Fatalf("persisted blob does not contain %s", cur)
+	}
 	if err := NewStageCache().Load(strings.NewReader(skew)); err == nil {
 		t.Error("incompatible cache version accepted")
 	}

@@ -18,11 +18,13 @@ package explore
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/isdl"
+	"repro/internal/obs"
 	"repro/internal/xsim"
 )
 
@@ -80,19 +82,59 @@ type Explorer struct {
 	// regenerated across hill-climbing iterations are evaluated once and
 	// partial rework (e.g. re-synthesis after a kernel change) is skipped.
 	NoCache bool
-	// Cache, when non-nil, is used instead of a fresh per-Run cache. The
-	// keys cover the candidate description and the kernel, so sharing a
-	// cache across runs with different Kernels (or Bases) is sound; only
-	// the Evaluator configuration is uncovered — share a cache across
-	// runs only if it is identical.
+	// Cache, when non-nil, is used instead of a fresh per-Run cache. Each
+	// stage's key covers that stage's true inputs — candidate description
+	// (the synthesis stage only its structural fingerprint), kernel,
+	// program image — so sharing a cache across runs with different
+	// Kernels (or Bases) is sound. The keys do not cover the Evaluator
+	// configuration (technology library, synthesis options, instruction
+	// limit): share a cache across runs only when that configuration is
+	// identical.
 	Cache *core.EvalCache
-	// Log receives one line per evaluated candidate; nil discards.
-	Log func(string)
+	// Log receives one structured Event per exploration observation: the
+	// base score, every scored candidate, infeasible candidates, per-
+	// iteration cache statistics, accepted moves and the stop decision.
+	// Nil discards. Event.Line always carries the formatted text, so a
+	// logger that only wants the classic log prints that. Events are
+	// emitted from Run's goroutine, never from evaluation workers.
+	Log func(Event)
+	// Obs, when non-nil, collects exploration metrics and spans: one span
+	// per iteration (lane 0, "explore") and per scored candidate (one
+	// lane per worker), counters explore.candidates and
+	// explore.moves.accepted / .rejected / .infeasible, the pipeline's
+	// per-stage instrumentation (core.Pipeline.Obs) and the stage cache's
+	// hit/miss counters (core.StageCache.Bind).
+	Obs *obs.Registry
 }
 
-func (e *Explorer) logf(format string, args ...interface{}) {
+// Event is one structured exploration log record. Kind says what
+// happened, the typed fields carry what is known at that point, and Line
+// always holds the formatted human-readable text (exactly the lines the
+// old Log func(string) contract delivered).
+type Event struct {
+	// Kind is one of "base", "candidate", "infeasible", "cache",
+	// "accept", "stop".
+	Kind string
+	// Iter is the 1-based iteration; 0 for the base evaluation.
+	Iter int
+	// Action is the mutation that produced the candidate (candidate,
+	// infeasible and accept events).
+	Action string
+	// Score is the objective value (base, candidate and accept events).
+	Score float64
+	// Accepted marks a candidate that improved on the best-so-far.
+	Accepted bool
+	// Eval is the candidate's evaluation (base, candidate, accept).
+	Eval *core.Evaluation
+	// Err says why the candidate was infeasible (infeasible events).
+	Err error
+	// Line is the formatted log line.
+	Line string
+}
+
+func (e *Explorer) emit(ev Event) {
 	if e.Log != nil {
-		e.Log(fmt.Sprintf(format, args...))
+		e.Log(ev)
 	}
 }
 
@@ -117,27 +159,40 @@ func (e *Explorer) Run() (*Result, error) {
 	var stages *core.StageCache
 	if cache != nil {
 		stages = cache.Stages()
+		stages.Bind(e.Obs) // no-op when Obs is nil or already bound
 	}
-	pipe := &core.Pipeline{Evaluator: ev, Cache: stages}
+	pipe := &core.Pipeline{Evaluator: ev, Cache: stages, Obs: e.Obs}
+	e.Obs.SetLaneName(0, "explore")
+	for w := 0; w < workers; w++ {
+		e.Obs.SetLaneName(1+w, fmt.Sprintf("worker %d", w))
+	}
 	// Compiled-op reuse happens below the pipeline, in the process-wide
 	// xsim cache; report per-run deltas alongside the stage counters.
 	opHits0, opMisses0 := xsim.SharedOpCache().Stats()
 
 	curSrc := e.Base
-	curEval, err := e.evaluate(pipe, curSrc)
+	baseSpan := e.Obs.StartSpanLane("candidate", 1)
+	baseSpan.SetArg("action", "base")
+	e.Obs.Counter("explore.candidates").Inc()
+	curEval, err := e.evaluate(pipe, curSrc, baseSpan)
+	baseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("explore: base candidate: %w", err)
 	}
 	curScore := e.score(curEval)
 	res := &Result{Initial: curEval}
-	e.logf("base: score %.2f (%s)", curScore, oneLine(curEval))
+	e.emit(Event{Kind: "base", Score: curScore, Eval: curEval,
+		Line: fmt.Sprintf("base: score %.2f (%s)", curScore, oneLine(curEval))})
 
 	for iter := 1; iter <= maxIters; iter++ {
+		iterSpan := e.Obs.StartSpan("iteration")
+		iterSpan.SetArg("iter", strconv.Itoa(iter))
 		moves, err := neighbours(curSrc)
 		if err != nil {
+			iterSpan.End()
 			return nil, err
 		}
-		outs := e.evaluateAll(pipe, moves, workers)
+		outs := e.evaluateAll(pipe, moves, workers, iterSpan)
 		bestScore := curScore
 		var bestSrc, bestAction string
 		var bestEval *core.Evaluation
@@ -148,27 +203,41 @@ func (e *Explorer) Run() (*Result, error) {
 			if err != nil {
 				// Infeasible candidate (e.g. the compiler lost an
 				// operation it needs): skip.
-				e.logf("iter %d: %-28s infeasible: %v", iter, mv.action, err)
+				e.Obs.Counter("explore.moves.infeasible").Inc()
+				e.emit(Event{Kind: "infeasible", Iter: iter, Action: mv.action, Err: err,
+					Line: fmt.Sprintf("iter %d: %-28s infeasible: %v", iter, mv.action, err)})
 				continue
 			}
 			s := e.score(cand)
 			accepted := s < bestScore
+			if accepted {
+				e.Obs.Counter("explore.moves.accepted").Inc()
+			} else {
+				e.Obs.Counter("explore.moves.rejected").Inc()
+			}
 			res.Steps = append(res.Steps, Step{Iter: iter, Action: mv.action, Eval: cand, Score: s, Accepted: accepted})
-			e.logf("iter %d: %-28s score %.2f (%s)", iter, mv.action, s, oneLine(cand))
+			e.emit(Event{Kind: "candidate", Iter: iter, Action: mv.action, Score: s, Accepted: accepted, Eval: cand,
+				Line: fmt.Sprintf("iter %d: %-28s score %.2f (%s)", iter, mv.action, s, oneLine(cand))})
 			if accepted {
 				bestScore, bestSrc, bestAction, bestEval = s, mv.src, mv.action, cand
 			}
 		}
 		if stages != nil {
 			opHits, opMisses := xsim.SharedOpCache().Stats()
-			e.logf("iter %d: cache %s; op-closures %d reused / %d compiled",
-				iter, stages.StatsLine(), opHits-opHits0, opMisses-opMisses0)
+			e.emit(Event{Kind: "cache", Iter: iter,
+				Line: fmt.Sprintf("iter %d: cache %s; op-closures %d reused / %d compiled",
+					iter, stages.StatsLine(), opHits-opHits0, opMisses-opMisses0)})
 		}
 		if bestEval == nil {
-			e.logf("iter %d: no improving move; stopping", iter)
+			e.emit(Event{Kind: "stop", Iter: iter,
+				Line: fmt.Sprintf("iter %d: no improving move; stopping", iter)})
+			iterSpan.End()
 			break
 		}
-		e.logf("iter %d: ACCEPT %s (score %.2f -> %.2f)", iter, bestAction, curScore, bestScore)
+		e.emit(Event{Kind: "accept", Iter: iter, Action: bestAction, Score: bestScore, Accepted: true, Eval: bestEval,
+			Line: fmt.Sprintf("iter %d: ACCEPT %s (score %.2f -> %.2f)", iter, bestAction, curScore, bestScore)})
+		iterSpan.SetArg("accepted", bestAction)
+		iterSpan.End()
 		curSrc, curScore, curEval = bestSrc, bestScore, bestEval
 	}
 	res.Final = curEval
@@ -184,14 +253,26 @@ type outcome struct {
 
 // evaluateAll scores every move, fanning out over a bounded worker pool.
 // outs[i] always corresponds to moves[i]; completion order never matters.
-func (e *Explorer) evaluateAll(pipe *core.Pipeline, moves []move, workers int) []outcome {
+// Each scored candidate gets a span on its worker's lane, parented to the
+// iteration span, so the trace shows the fan-out side by side.
+func (e *Explorer) evaluateAll(pipe *core.Pipeline, moves []move, workers int, iterSpan *obs.Span) []outcome {
 	outs := make([]outcome, len(moves))
 	if workers > len(moves) {
 		workers = len(moves)
 	}
+	scoreOne := func(i, lane int) {
+		sp := iterSpan.ChildLane("candidate", lane)
+		sp.SetArg("action", moves[i].action)
+		e.Obs.Counter("explore.candidates").Inc()
+		outs[i].eval, outs[i].err = e.evaluate(pipe, moves[i].src, sp)
+		if outs[i].err != nil {
+			sp.SetArg("err", outs[i].err.Error())
+		}
+		sp.End()
+	}
 	if workers <= 1 {
 		for i := range moves {
-			outs[i].eval, outs[i].err = e.evaluate(pipe, moves[i].src)
+			scoreOne(i, 1)
 		}
 		return outs
 	}
@@ -199,12 +280,12 @@ func (e *Explorer) evaluateAll(pipe *core.Pipeline, moves []move, workers int) [
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range next {
-				outs[i].eval, outs[i].err = e.evaluate(pipe, moves[i].src)
+				scoreOne(i, lane)
 			}
-		}()
+		}(1 + w)
 	}
 	for i := range moves {
 		next <- i
@@ -229,8 +310,9 @@ func (e *Explorer) score(ev *core.Evaluation) float64 {
 // stages whose inputs are unchanged. Deterministic failures (uncompilable
 // candidates) are cached too; parse errors are not, since parsing is the
 // cheap step and an unparsable text has no canonical form to key by.
-func (e *Explorer) evaluate(pipe *core.Pipeline, src string) (*core.Evaluation, error) {
-	return pipe.EvaluateKernel(src, e.Kernel, "kernel")
+// Stage spans of executed stages become children of sp in the trace.
+func (e *Explorer) evaluate(pipe *core.Pipeline, src string, sp *obs.Span) (*core.Evaluation, error) {
+	return pipe.EvaluateKernelTraced(src, e.Kernel, "kernel", sp)
 }
 
 // move is one candidate mutation.

@@ -77,17 +77,46 @@ func TestExploreLogging(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exploration loop is slow")
 	}
-	var lines []string
+	var events []explore.Event
 	ex := &explore.Explorer{
 		Base:     machines.SPAM2Source,
 		Kernel:   "var x; x = 1;",
 		MaxIters: 1,
-		Log:      func(s string) { lines = append(lines, s) },
+		Log:      func(ev explore.Event) { events = append(events, ev) },
 	}
 	if _, err := ex.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) < 2 {
-		t.Fatalf("expected log lines, got %d", len(lines))
+	if len(events) < 2 {
+		t.Fatalf("expected log events, got %d", len(events))
+	}
+	if events[0].Kind != "base" || events[0].Eval == nil || events[0].Iter != 0 {
+		t.Errorf("first event should be the base evaluation, got %+v", events[0])
+	}
+	byKind := map[string]int{}
+	for _, ev := range events {
+		if ev.Line == "" {
+			t.Errorf("event %q has no formatted line", ev.Kind)
+		}
+		byKind[ev.Kind]++
+		switch ev.Kind {
+		case "candidate":
+			if ev.Eval == nil || ev.Action == "" || ev.Iter < 1 {
+				t.Errorf("candidate event missing fields: %+v", ev)
+			}
+		case "infeasible":
+			if ev.Err == nil || ev.Action == "" {
+				t.Errorf("infeasible event missing fields: %+v", ev)
+			}
+		case "base", "cache", "accept", "stop":
+		default:
+			t.Errorf("unknown event kind %q", ev.Kind)
+		}
+	}
+	if byKind["candidate"] == 0 {
+		t.Error("no candidate events emitted")
+	}
+	if byKind["cache"] == 0 {
+		t.Error("no cache statistics event emitted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/machines"
+	"repro/internal/obs"
 )
 
 // runConfig runs one exploration of SPAM with the given concurrency/cache
@@ -21,7 +22,7 @@ func runConfig(t *testing.T, workers int, noCache bool) (*explore.Result, []stri
 		MaxIters: 3,
 		Workers:  workers,
 		NoCache:  noCache,
-		Log:      func(s string) { lines = append(lines, s) },
+		Log:      func(ev explore.Event) { lines = append(lines, ev.Line) },
 	}
 	res, err := ex.Run()
 	if err != nil {
@@ -112,6 +113,90 @@ func TestExploreSharedCacheAcrossRuns(t *testing.T) {
 	newHits, newMisses := h2-h1, m2-m1
 	if newHits <= newMisses {
 		t.Errorf("weight-sweep run: %d hits / %d misses, want mostly hits", newHits, newMisses)
+	}
+}
+
+// TestExploreInstrumentedExactCounters (runs under -race in CI): parallel
+// exploration over a shared obs.Registry must lose no increments — the
+// concurrently-bumped counters must agree exactly with the event stream,
+// which Run emits race-free from its own goroutine — and instrumentation
+// must not change the outcome: results stay bit-identical to an
+// uninstrumented run.
+func TestExploreInstrumentedExactCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	plain, _ := runConfig(t, 8, false)
+
+	reg := obs.NewRegistry()
+	var events []explore.Event
+	ex := &explore.Explorer{
+		Base:     machines.SPAMSource,
+		Kernel:   "var i, s;\ns = 0;\nfor i = 0 to 7 { s = s + i; }\n",
+		Weights:  explore.DefaultWeights(),
+		MaxIters: 3,
+		Workers:  8,
+		Obs:      reg,
+		Log:      func(ev explore.Event) { events = append(events, ev) },
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "instrumented", plain, res)
+
+	byKind := map[string]uint64{}
+	for _, ev := range events {
+		byKind[ev.Kind]++
+	}
+	c := reg.Counters()
+	// Every evaluated candidate (the base plus each neighbour) increments
+	// explore.candidates from a worker goroutine.
+	wantCandidates := 1 + byKind["candidate"] + byKind["infeasible"]
+	if c["explore.candidates"] != wantCandidates {
+		t.Errorf("explore.candidates = %d, want %d", c["explore.candidates"], wantCandidates)
+	}
+	var accepted, rejected uint64
+	for _, s := range res.Steps {
+		if s.Accepted {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if c["explore.moves.accepted"] != accepted {
+		t.Errorf("explore.moves.accepted = %d, want %d", c["explore.moves.accepted"], accepted)
+	}
+	if c["explore.moves.rejected"] != rejected {
+		t.Errorf("explore.moves.rejected = %d, want %d", c["explore.moves.rejected"], rejected)
+	}
+	if c["explore.moves.infeasible"] != byKind["infeasible"] {
+		t.Errorf("explore.moves.infeasible = %d, want %d", c["explore.moves.infeasible"], byKind["infeasible"])
+	}
+
+	// The pipeline, stage cache and simulator report through the same
+	// registry.
+	if reg.Histograms()["stage.simulate.ns"].Count == 0 {
+		t.Error("no simulate-stage latency observations")
+	}
+	if c["xsim.instructions"] == 0 {
+		t.Error("no simulator perf counters published")
+	}
+	if c["cache.combine.misses"] == 0 {
+		t.Error("stage-cache counters not bound into the registry")
+	}
+
+	// Spans: one per iteration (the cache event count is the iteration
+	// count) and one per evaluated candidate.
+	spanCount := map[string]uint64{}
+	for _, s := range reg.Spans() {
+		spanCount[s.Name]++
+	}
+	if spanCount["candidate"] != wantCandidates {
+		t.Errorf("candidate spans = %d, want %d", spanCount["candidate"], wantCandidates)
+	}
+	if spanCount["iteration"] != byKind["cache"] {
+		t.Errorf("iteration spans = %d, want %d", spanCount["iteration"], byKind["cache"])
 	}
 }
 

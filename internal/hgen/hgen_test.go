@@ -40,6 +40,18 @@ func TestSynthesizeToyEstimates(t *testing.T) {
 	if r.Report() == "" {
 		t.Fatal("empty report")
 	}
+	// Phase timings: share and retime always run; emit only with Verilog.
+	for _, ph := range []string{"share", "retime"} {
+		if _, ok := r.PhaseSeconds[ph]; !ok {
+			t.Errorf("PhaseSeconds missing %q: %v", ph, r.PhaseSeconds)
+		}
+	}
+	if _, ok := r.PhaseSeconds["emit"]; ok {
+		t.Error("emit phase recorded without Verilog emission")
+	}
+	if !strings.Contains(r.Report(), "share") {
+		t.Error("report does not show phase timings")
+	}
 }
 
 // TestCosimToyStack co-simulates the toy machine — whose Stack storage

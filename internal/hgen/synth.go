@@ -89,12 +89,17 @@ type Result struct {
 	VerilogLines int
 	// SynthSeconds is the wall-clock synthesis time (Table 2).
 	SynthSeconds float64
+	// PhaseSeconds splits SynthSeconds by phase: "share" (node extraction
+	// and resource-sharing clique cover), "retime" (unit construction and
+	// area/cycle/energy estimation) and "emit" (Verilog generation and the
+	// re-parse gate; absent when EmitVerilog is off).
+	PhaseSeconds map[string]float64
 }
 
 // Synthesize compiles a description into a hardware model.
 func Synthesize(d *isdl.Description, lib *tech.Library, opts Options) (*Result, error) {
 	start := time.Now()
-	r := &Result{Desc: d, Lib: lib, Options: opts, Breakdown: map[string]float64{}}
+	r := &Result{Desc: d, Lib: lib, Options: opts, Breakdown: map[string]float64{}, PhaseSeconds: map[string]float64{}}
 
 	r.Nodes = extractNodes(d)
 	coex := newCoexistence(d)
@@ -107,9 +112,13 @@ func Synthesize(d *isdl.Description, lib *tech.Library, opts Options) (*Result, 
 	if opts.Sharing != ShareOff {
 		r.refineGroups(a)
 	}
+	phase := time.Now()
+	r.PhaseSeconds["share"] = phase.Sub(start).Seconds()
 	r.buildUnits()
 	r.estimate()
+	r.PhaseSeconds["retime"] = time.Since(phase).Seconds()
 	if opts.EmitVerilog {
+		phase = time.Now()
 		text, err := generateVerilog(d)
 		if err != nil {
 			return nil, err
@@ -121,6 +130,7 @@ func Synthesize(d *isdl.Description, lib *tech.Library, opts Options) (*Result, 
 		if _, err := verilog.Parse(text); err != nil {
 			return nil, fmt.Errorf("hgen: generated Verilog does not re-parse: %v", err)
 		}
+		r.PhaseSeconds["emit"] = time.Since(phase).Seconds()
 	}
 	r.SynthSeconds = time.Since(start).Seconds()
 	return r, nil
@@ -527,6 +537,19 @@ func (r *Result) Report() string {
 	if r.VerilogLines > 0 {
 		fmt.Fprintf(&sb, "verilog:        %d lines\n", r.VerilogLines)
 	}
-	fmt.Fprintf(&sb, "synthesis time: %.3f s\n", r.SynthSeconds)
+	fmt.Fprintf(&sb, "synthesis time: %.3f s", r.SynthSeconds)
+	if len(r.PhaseSeconds) > 0 {
+		sb.WriteString(" (")
+		for i, ph := range []string{"share", "retime", "emit"} {
+			if sec, ok := r.PhaseSeconds[ph]; ok {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%s %.3f", ph, sec)
+			}
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteByte('\n')
 	return sb.String()
 }

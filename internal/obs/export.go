@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Exporters. Three views of one registry:
+//
+//   - WriteText: the human-readable summary table (cmd/explore prints it
+//     to stderr at the end of a run);
+//   - WriteMetricsJSON: the machine-readable metrics document
+//     (`explore -metrics-out`);
+//   - WriteTrace: Chrome trace_event JSON (`explore -trace-out`), the
+//     "JSON Array Format with metadata" every trace viewer understands —
+//     open the file in chrome://tracing or https://ui.perfetto.dev.
+
+// WriteText renders the registry as an aligned text summary: counters,
+// gauges, then histograms with count / mean / p50 / p95 / p99 / max.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, hists := r.Counters(), r.Gauges(), r.Histograms()
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		for _, name := range sortedNames(counters) {
+			fmt.Fprintf(w, "  %-32s %12d\n", name, counters[name])
+		}
+	}
+	if len(gauges) > 0 {
+		fmt.Fprintf(w, "gauges:\n")
+		for _, name := range sortedNames(gauges) {
+			fmt.Fprintf(w, "  %-32s %12d\n", name, gauges[name])
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "latency (count, mean, p50, p95, p99, max):\n")
+		for _, name := range sortedNames(hists) {
+			s := hists[name]
+			fmt.Fprintf(w, "  %-32s %8d  %9s %9s %9s %9s %9s\n", name, s.Count,
+				fmtNs(s.MeanNs()), fmtNs(s.P50Ns), fmtNs(s.P95Ns), fmtNs(s.P99Ns), fmtNs(s.MaxNs))
+		}
+	}
+	if n := len(r.Spans()); n > 0 {
+		fmt.Fprintf(w, "spans: %d recorded (export with -trace-out and open in Perfetto)\n", n)
+	}
+	return nil
+}
+
+// fmtNs renders a nanosecond quantity with a human unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// metricsDoc is the `-metrics-out` JSON shape. Map keys marshal in sorted
+// order, so the document is deterministic for a given registry state.
+type metricsDoc struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// WriteMetricsJSON writes the counters, gauges and histogram snapshots as
+// one indented JSON document.
+func (r *Registry) WriteMetricsJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	doc := metricsDoc{Counters: r.Counters(), Gauges: r.Gauges(), Histograms: r.Histograms()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+// traceEvent is one Chrome trace_event record. "X" complete events carry
+// ts+dur; "M" metadata events name the process and lanes.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds from the registry epoch
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceDoc is the trace_event "JSON Object Format".
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace writes every finished span as Chrome trace_event JSON. The
+// file loads directly in chrome://tracing and Perfetto: spans become
+// complete ("X") slices on their lane, nested by time; lane names appear
+// as thread names. Span identity and parent linkage are preserved in each
+// event's args ("id", "parent").
+func (r *Registry) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lanes := make(map[int]string, len(r.lanes))
+	for lane, name := range r.lanes {
+		lanes[lane] = name
+	}
+	r.mu.Unlock()
+
+	spans := r.Spans()
+	events := make([]traceEvent, 0, len(spans)+len(lanes)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]string{"name": "repro evaluation pipeline"},
+	})
+	laneIDs := make([]int, 0, len(lanes))
+	for lane := range lanes {
+		laneIDs = append(laneIDs, lane)
+	}
+	sort.Ints(laneIDs)
+	for _, lane := range laneIDs {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lane,
+			Args: map[string]string{"name": lanes[lane]},
+		})
+	}
+	for _, s := range spans {
+		args := make(map[string]string, len(s.Args)+2)
+		for k, v := range s.Args {
+			args[k] = v
+		}
+		args["id"] = strconv.FormatUint(s.ID, 10)
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatUint(s.Parent, 10)
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Lane,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&traceDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -126,6 +126,93 @@ func (p *Profile) Hot(n int) []HotSpot {
 	return out
 }
 
+// WeightedSpot is one address with its execution count and its estimated
+// cycle contribution (count × per-execution weight).
+type WeightedSpot struct {
+	Addr   int
+	Count  uint64
+	Cycles float64
+}
+
+// CycleWeigher returns a weight function over program addresses: the
+// estimated cycles one execution of the instruction at addr costs under
+// the ISDL cost model (§2.1.3) — the maximum per-operation Cycle cost
+// across the VLIW fields (ops in one word issue together), each folded
+// with its selected non-terminal options' additive adders (§2.1.1), plus
+// every operation's possible Stall cycles. Addresses that do not decode
+// to an instruction weigh 1.0. Decodes are memoized per address, so the
+// weigher is cheap to apply to a long profile (but not safe for
+// concurrent use).
+func CycleWeigher(d *isdl.Description, prog *asm.Program) func(addr int) float64 {
+	memo := map[int]float64{}
+	return func(addr int) float64 {
+		if w, ok := memo[addr]; ok {
+			return w
+		}
+		w := 1.0
+		if inst := decodeAt(d, prog, addr); inst != nil {
+			maxCycle, stalls := 0, 0
+			for _, dop := range inst.Ops {
+				cyc, st := opCosts(dop.Op.Costs, dop.Args)
+				if cyc > maxCycle {
+					maxCycle = cyc
+				}
+				stalls += st
+			}
+			if est := maxCycle + stalls; est > 0 {
+				w = float64(est)
+			}
+		}
+		memo[addr] = w
+		return w
+	}
+}
+
+// opCosts folds one operation's base costs with the additive cost adders
+// of its selected non-terminal options.
+func opCosts(base isdl.Costs, args []decode.Arg) (cycle, stall int) {
+	cycle, stall = base.Cycle, base.Stall
+	var walk func(args []decode.Arg)
+	walk = func(args []decode.Arg) {
+		for i := range args {
+			a := &args[i]
+			if a.Option == nil {
+				continue
+			}
+			cycle += a.Option.Costs.Cycle
+			stall += a.Option.Costs.Stall
+			walk(a.Sub)
+		}
+	}
+	walk(args)
+	return cycle, stall
+}
+
+// HotWeighted returns the n addresses with the largest estimated cycle
+// contribution, hottest first (ties by address). weight is typically a
+// CycleWeigher; nil weighs every execution 1.0 (count order). n <= 0
+// returns all addresses.
+func (p *Profile) HotWeighted(n int, weight func(addr int) float64) []WeightedSpot {
+	out := make([]WeightedSpot, 0, len(p.Counts))
+	for a, c := range p.Counts {
+		w := 1.0
+		if weight != nil {
+			w = weight(a)
+		}
+		out = append(out, WeightedSpot{Addr: a, Count: c, Cycles: float64(c) * w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
 // SymbolCount attributes executions to the nearest preceding program symbol
 // — a function-level profile.
 type SymbolCount struct {
@@ -219,8 +306,41 @@ func (p *Profile) Annotate(w io.Writer, d *isdl.Description, prog *asm.Program) 
 	return nil
 }
 
-// Report writes the standard profile report: symbol attribution then the
-// hottest addresses.
+// decodeAt decodes the instruction at addr, or nil when the address lies
+// outside the program or does not decode.
+func decodeAt(d *isdl.Description, prog *asm.Program, addr int) *decode.Inst {
+	idx := addr - prog.Base
+	if idx < 0 || idx >= len(prog.Words) {
+		return nil
+	}
+	img := decode.FetchWord(d, func(x int) bitvec.Value {
+		if i := x - prog.Base; i >= 0 && i < len(prog.Words) {
+			return prog.Words[i]
+		}
+		return prog.Words[idx]
+	}, addr)
+	inst, err := decode.Instruction(d, img)
+	if err != nil {
+		return nil
+	}
+	return inst
+}
+
+// disasm renders the instruction at addr, or "" when it does not decode.
+func disasm(d *isdl.Description, prog *asm.Program, addr int) string {
+	inst := decodeAt(d, prog, addr)
+	if inst == nil {
+		return ""
+	}
+	return asm.RenderInst(d, inst)
+}
+
+// Report writes the standard profile report: symbol attribution, the
+// most-executed addresses, and the addresses ranked by estimated cycle
+// contribution under the ISDL cost model (CycleWeigher) — the count
+// ranking says what runs most, the cycle ranking says where the time
+// goes, and they differ exactly where expensive (multi-cycle or
+// stall-prone) operations sit on cool paths.
 func (p *Profile) Report(w io.Writer, d *isdl.Description, prog *asm.Program, topN int) error {
 	fmt.Fprintf(w, "execution profile: %d instructions\n\nby symbol:\n", p.Total)
 	for _, sc := range p.BySymbol(prog) {
@@ -228,19 +348,24 @@ func (p *Profile) Report(w io.Writer, d *isdl.Description, prog *asm.Program, to
 	}
 	fmt.Fprintf(w, "\nhottest addresses:\n")
 	for _, h := range p.Hot(topN) {
-		text := ""
-		if idx := h.Addr - prog.Base; idx >= 0 && idx < len(prog.Words) {
-			img := decode.FetchWord(d, func(x int) bitvec.Value {
-				if i := x - prog.Base; i >= 0 && i < len(prog.Words) {
-					return prog.Words[i]
-				}
-				return prog.Words[idx]
-			}, h.Addr)
-			if inst, err := decode.Instruction(d, img); err == nil {
-				text = asm.RenderInst(d, inst)
-			}
+		fmt.Fprintf(w, "  %04x %10d  %s\n", h.Addr, h.Count, disasm(d, prog, h.Addr))
+	}
+	weighted := p.HotWeighted(0, CycleWeigher(d, prog))
+	var totalCycles float64
+	for _, h := range weighted {
+		totalCycles += h.Cycles
+	}
+	if topN > 0 && len(weighted) > topN {
+		weighted = weighted[:topN]
+	}
+	fmt.Fprintf(w, "\nhottest addresses by estimated cycles:\n")
+	for _, h := range weighted {
+		share := 0.0
+		if totalCycles > 0 {
+			share = h.Cycles / totalCycles * 100
 		}
-		fmt.Fprintf(w, "  %04x %10d  %s\n", h.Addr, h.Count, text)
+		fmt.Fprintf(w, "  %04x %10.0f cyc %6.2f%%  (%d executions)  %s\n",
+			h.Addr, h.Cycles, share, h.Count, disasm(d, prog, h.Addr))
 	}
 	return nil
 }

@@ -116,6 +116,79 @@ func TestReportAndAnnotate(t *testing.T) {
 	}
 }
 
+// mulLoop executes mul (Cycle 1 + Stall 2 in the toy ISDL, weight 3) five
+// times and the loop-head beq six — most-executed and most-expensive
+// addresses differ, which is exactly what the weighted ranking is for.
+const mulLoop = `
+    mv R1, #1
+    mv R2, #5
+loop:
+    beq R2, R0, done
+    mul R1, R1, R2
+    sub R2, R2, #1
+    jmp loop
+done:
+    halt
+`
+
+func TestCycleWeightedAttribution(t *testing.T) {
+	d := machines.Toy()
+	p, err := asm.Assemble(d, mulLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := traceprof.New()
+	sim := xsim.New(d)
+	sim.SetTrace(prof.Writer())
+	if err := sim.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	beqAddr := p.Symbols["loop"]
+	mulAddr := beqAddr + 1
+	weigh := traceprof.CycleWeigher(d, p)
+	if w := weigh(mulAddr); w != 3 {
+		t.Errorf("mul weight = %v, want 3 (Cycle 1 + Stall 2)", w)
+	}
+	if w := weigh(beqAddr); w != 1 {
+		t.Errorf("beq weight = %v, want 1", w)
+	}
+	if w := weigh(-5); w != 1 {
+		t.Errorf("out-of-program weight = %v, want 1", w)
+	}
+
+	// By count the loop head is hottest (6 executions); by estimated
+	// cycles the mul dominates (5 × 3 = 15).
+	if hot := prof.Hot(1); hot[0].Addr != beqAddr {
+		t.Errorf("hottest by count = %04x, want beq at %04x", hot[0].Addr, beqAddr)
+	}
+	weighted := prof.HotWeighted(1, weigh)
+	if weighted[0].Addr != mulAddr || weighted[0].Cycles != 15 || weighted[0].Count != 5 {
+		t.Errorf("hottest by cycles = %+v, want mul at %04x with 15 cycles over 5 executions",
+			weighted[0], mulAddr)
+	}
+	// Nil weight degenerates to the count ranking.
+	if plain := prof.HotWeighted(1, nil); plain[0].Addr != beqAddr {
+		t.Errorf("nil-weight hottest = %04x, want %04x", plain[0].Addr, beqAddr)
+	}
+
+	var buf bytes.Buffer
+	if err := prof.Report(&buf, d, p, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hottest addresses by estimated cycles:") {
+		t.Fatalf("report missing weighted section:\n%s", out)
+	}
+	weightedSection := out[strings.Index(out, "by estimated cycles"):]
+	if !strings.Contains(strings.SplitN(weightedSection, "\n", 3)[1], "mul") {
+		t.Errorf("weighted section should lead with mul:\n%s", weightedSection)
+	}
+}
+
 func TestWriterPartialLines(t *testing.T) {
 	prof := traceprof.New()
 	w := prof.Writer()

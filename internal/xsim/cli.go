@@ -301,6 +301,8 @@ func (s *Session) Execute(line string) error {
 		}
 	case "stats":
 		fmt.Fprint(s.Out, s.Sim.Stats().Summary(s.Sim.d))
+	case "perf":
+		fmt.Fprint(s.Out, s.Sim.Perf().Summary())
 	case "trace":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: trace <file|off>")
@@ -454,5 +456,6 @@ const helpText = `commands:
   disasm [addr [n]]         disassemble
   trace <file|off>          execution address trace
   profile on|off|report     in-process execution profiling
+  perf                      simulator performance counters (MIPS, caches)
   stats | symbols | reset | echo | quit
 `

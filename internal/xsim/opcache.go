@@ -113,12 +113,15 @@ func (sim *Simulator) SetOpCache(c *OpCache) { sim.opc = c }
 // instance, consulting the op cache when one is configured.
 func (sim *Simulator) compiledFor(dop *decode.Op, opEnv *env) (action, side stmtFn) {
 	if sim.opc == nil {
+		sim.perf.opCompiled++
 		return compileOp(sim.cc, opEnv)
 	}
 	key := opKey{layout: sim.layoutFP, op: sim.opFP(dop.Op), args: argKeyString(dop.Args)}
 	if p, ok := sim.opc.get(key); ok {
+		sim.perf.opReused++
 		return p.action, p.side
 	}
+	sim.perf.opCompiled++
 	action, side = compileOp(sim.cc, opEnv)
 	sim.opc.put(key, opProgram{action: action, side: side})
 	return action, side

@@ -1,0 +1,112 @@
+package xsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machines"
+	"repro/internal/obs"
+	"repro/internal/xsim"
+)
+
+// perfLoop runs a short counted loop, so re-executed addresses exercise the
+// decode cache.
+const perfLoop = `
+    mv R1, #0
+    mv R2, #5
+loop:
+    beq R2, R0, done
+    add R1, R1, R2
+    sub R2, R2, #1
+    jmp loop
+done:
+    halt
+`
+
+func TestPerfCounters(t *testing.T) {
+	sim := runToy(t, perfLoop)
+	p := sim.Perf()
+
+	stats := sim.Stats()
+	if p.Instructions != stats.Instructions {
+		t.Errorf("perf instructions = %d, want %d", p.Instructions, stats.Instructions)
+	}
+	if p.Cycles != sim.Cycle() {
+		t.Errorf("perf cycles = %d, want %d", p.Cycles, sim.Cycle())
+	}
+	// The loop body re-executes: 7 distinct addresses decode fresh, every
+	// further fetch hits the decode cache.
+	if p.DecodeMisses != 7 {
+		t.Errorf("decode misses = %d, want 7 (one per distinct address)", p.DecodeMisses)
+	}
+	if p.DecodeHits+p.DecodeMisses != p.Instructions {
+		t.Errorf("decode hits %d + misses %d != %d instructions", p.DecodeHits, p.DecodeMisses, p.Instructions)
+	}
+	if p.DecodeHitRate() <= 0.5 {
+		t.Errorf("decode hit rate = %v, want > 0.5 for a loop", p.DecodeHitRate())
+	}
+	if p.OpsReused+p.OpsCompiled == 0 {
+		t.Error("no compiled-op traffic recorded")
+	}
+	if p.RunSeconds <= 0 {
+		t.Errorf("run seconds = %v, want > 0", p.RunSeconds)
+	}
+	if p.MIPS <= 0 || p.SimCyclesPerSec <= 0 {
+		t.Errorf("throughput not computed: MIPS=%v cycles/s=%v", p.MIPS, p.SimCyclesPerSec)
+	}
+
+	sum := p.Summary()
+	for _, want := range []string{"instructions:", "decode cache:", "compiled ops:", "MIPS"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestPerfSurvivesReset(t *testing.T) {
+	d := machines.Toy()
+	prog, err := asm.Assemble(d, perfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := xsim.New(d)
+	if err := sim.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	first := sim.Perf()
+	sim.Reset()
+	if err := sim.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	second := sim.Perf()
+	if second.Instructions != 2*first.Instructions {
+		t.Errorf("instructions after reset+rerun = %d, want %d (cumulative)", second.Instructions, 2*first.Instructions)
+	}
+	if second.RunSeconds <= first.RunSeconds {
+		t.Error("run seconds did not accumulate across Reset")
+	}
+}
+
+func TestPerfPublish(t *testing.T) {
+	sim := runToy(t, perfLoop)
+	reg := obs.NewRegistry()
+	sim.Perf().Publish(reg)
+	counters := reg.Counters()
+	if counters["xsim.instructions"] != sim.Perf().Instructions {
+		t.Errorf("published instructions = %d, want %d", counters["xsim.instructions"], sim.Perf().Instructions)
+	}
+	for _, name := range []string{"xsim.cycles", "xsim.decode.hits", "xsim.decode.misses", "xsim.run_ns"} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("counter %s not published", name)
+		}
+	}
+	// Nil registry is a no-op.
+	sim.Perf().Publish(nil)
+}

@@ -30,6 +30,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/bitvec"
@@ -170,6 +171,10 @@ type Simulator struct {
 	breakpoints map[int]bool
 	trace       io.Writer
 	stats       Stats
+	// perf counts the simulator's own work (decode-cache traffic, wall
+	// clock, cumulative simulated work); see perf.go. Unlike stats it
+	// survives Reset.
+	perf perfCounters
 
 	// StallModel enables the latency/usage interlock (§3.3.3); disabling
 	// it is ablation C.
@@ -419,11 +424,14 @@ func (sim *Simulator) fetch(pc int) (*instInfo, error) {
 	di := pc - sim.denseBase
 	if di >= 0 && di < len(sim.dense) {
 		if ii := sim.dense[di]; ii != nil {
+			sim.perf.decodeHits++
 			return ii, nil
 		}
 	} else if ii, ok := sim.cacheOv[pc]; ok {
+		sim.perf.decodeHits++
 		return ii, nil
 	}
+	sim.perf.decodeMisses++
 	img := decode.FetchWord(sim.d, func(a int) bitvec.Value {
 		return sim.imH.Get(a)
 	}, pc)
@@ -699,6 +707,17 @@ func (sim *Simulator) FlushPending() {
 // instructions have executed (limit <= 0 means no limit). It returns
 // ErrBreakpoint when stopped by a breakpoint.
 func (sim *Simulator) Run(limit int64) error {
+	// Perf accounting (perf.go): wall clock plus the architectural deltas
+	// of this Run, measured once per call so the step loop stays clean.
+	start := time.Now()
+	i0, c0, d0, s0 := sim.stats.Instructions, sim.cycle, sim.stats.DataStalls, sim.stats.StructStalls
+	defer func() {
+		sim.perf.runNs += time.Since(start).Nanoseconds()
+		sim.perf.instructions += sim.stats.Instructions - i0
+		sim.perf.cycles += sim.cycle - c0
+		sim.perf.dataStalls += sim.stats.DataStalls - d0
+		sim.perf.structStalls += sim.stats.StructStalls - s0
+	}()
 	executed := int64(0)
 	for !sim.halted {
 		if limit > 0 && executed >= limit {
