@@ -1,11 +1,17 @@
 // Command paper regenerates every table of the paper's evaluation (§6) and
 // the ablations DESIGN.md defines, in one run:
 //
-//	paper                  everything (Table 1 uses a 2 s budget per model)
-//	paper -table 1         just the simulation-speed comparison
-//	paper -table 2         just the synthesis statistics
-//	paper -ablation all    just the ablations
-//	paper -budget 500ms    quicker (noisier) Table 1
+//	paper                    everything (Table 1 uses a 2 s budget per model)
+//	paper -table 1           just the simulation-speed comparison
+//	paper -table 2           just the synthesis statistics
+//	paper -ablation all      just the ablations
+//	paper -budget 500ms      quicker (noisier) Table 1
+//	paper -cosim-workers 8   Verilog co-simulation fan-out (0 = NumCPU)
+//
+// Table 1's Verilog measurement runs whole workloads concurrently on the
+// internal/cosim worker pool; the report includes the aggregate throughput
+// and the measured parallel-vs-serial speedup alongside the per-instance
+// speed the Speedup column is computed from.
 package main
 
 import (
@@ -21,10 +27,11 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1 | 2 | all | none")
 	ablation := flag.String("ablation", "all", "which ablation: sharing | decode | stalls | all | none")
 	budget := flag.Duration("budget", 2*time.Second, "measurement budget per simulator for Table 1")
+	cosimWorkers := flag.Int("cosim-workers", 0, "parallel Verilog co-simulation workers for Table 1 (0 = NumCPU)")
 	flag.Parse()
 
 	if *table == "1" || *table == "all" {
-		t1, err := experiments.RunTable1(*budget)
+		t1, err := experiments.RunTable1Opts(experiments.Table1Options{Budget: *budget, Workers: *cosimWorkers})
 		if err != nil {
 			fatal(err)
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // persistVersion guards the on-disk format; bump it whenever a persisted
@@ -130,17 +131,35 @@ func (c *StageCache) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the cache to a file (see Save).
+// SaveFile writes the cache to a file (see Save) atomically: the JSON goes
+// to a temporary file in the same directory, is fsynced, and is renamed
+// over the target. A crash or kill mid-write therefore leaves either the
+// old cache or the new one — never a truncated file that would poison the
+// next run's -cache-file load.
 func (c *StageCache) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: save cache: %w", err)
 	}
-	if err := c.Save(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("core: save cache: %w", err)
 	}
+	if err := c.Save(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save cache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("core: save cache: %w", err)
 	}
 	return nil

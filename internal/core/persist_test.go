@@ -1,0 +1,125 @@
+package core
+
+// Regression tests for atomic cache persistence: SaveFile must never leave
+// a torn file behind (it writes a same-directory temp file, fsyncs and
+// renames), and LoadFile must reject a truncated cache gracefully instead
+// of poisoning the run.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// persistSeed fills a cache with one persistable entry per stage.
+func persistSeed(t *testing.T) *StageCache {
+	t.Helper()
+	c := NewStageCache()
+	c.Put(StageCompile, StageKey(StageCompile, "compile-input"), "compiled text", nil)
+	c.Put(StageSimulate, StageKey(StageSimulate, "simulate-input"), SimArtifact{Cycles: 42}, nil)
+	return c
+}
+
+func TestSaveFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+
+	if err := persistSeed(t).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite with a second save; the file must be replaced wholesale
+	// and no temporary files may remain in the directory.
+	bigger := persistSeed(t)
+	bigger.Put(StageCompile, StageKey(StageCompile, "another-input"), "more compiled text", nil)
+	if err := bigger.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "cache.json" {
+			t.Errorf("leftover file after SaveFile: %s", e.Name())
+		}
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) <= len(first) {
+		t.Fatalf("second save (%d bytes) should supersede the first (%d bytes)", len(second), len(first))
+	}
+	if err := NewStageCache().LoadFile(path); err != nil {
+		t.Fatalf("replaced file does not load: %v", err)
+	}
+}
+
+// TestSaveFileFailureKeepsOldCache: when the write cannot complete (the
+// temp file cannot even be created — here the target's directory is gone),
+// the existing cache file is untouched.
+func TestSaveFileFailureKeepsOldCache(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "cache.json")
+	if err := os.Mkdir(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := persistSeed(t).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(filepath.Dir(path), 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(filepath.Dir(path), 0o755)
+	if err := persistSeed(t).SaveFile(path); err == nil {
+		t.Skip("running as a user unaffected by directory permissions")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("failed save modified the existing cache file")
+	}
+}
+
+// TestLoadFileTruncated: a cache torn mid-write (simulating the old
+// os.Create in-place behaviour interrupted by a crash) must fail to load
+// with an error — and leave the in-memory cache usable, so the explorer
+// can fall back to a cold start.
+func TestLoadFileTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	if err := persistSeed(t).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewStageCache()
+	if err := c.LoadFile(path); err == nil {
+		t.Fatal("truncated cache file loaded without error")
+	} else if !strings.Contains(err.Error(), "cache") {
+		t.Errorf("unhelpful error for truncated cache: %v", err)
+	}
+	// The cache must still work after the failed load.
+	c.Put(StageCompile, StageKey(StageCompile, "fresh"), "fresh text", nil)
+	if v, err, ok := c.Get(StageCompile, StageKey(StageCompile, "fresh")); !ok || err != nil || v != "fresh text" {
+		t.Errorf("cache unusable after failed load: %v %v %v", v, err, ok)
+	}
+}

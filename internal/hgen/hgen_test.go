@@ -354,6 +354,15 @@ func TestCosimILSvsVerilog(t *testing.T) {
 
 func compareState(t *testing.T, d *isdl.Description, ils *xsim.Simulator, hw *verilog.Sim, trial, step int) {
 	t.Helper()
+	if err := stateDiff(d, ils, hw); err != nil {
+		t.Fatalf("trial %d step %d: %v", trial, step, err)
+	}
+}
+
+// stateDiff compares every architectural storage element of the two models
+// and reports the first mismatch. It returns (rather than fails) so
+// concurrent co-simulation trials can run it off the test goroutine.
+func stateDiff(d *isdl.Description, ils *xsim.Simulator, hw *verilog.Sim) error {
 	for _, st := range d.Storage {
 		if st.Kind.Addressed() {
 			if st.Kind == isdl.StInstructionMemory {
@@ -363,23 +372,24 @@ func compareState(t *testing.T, d *isdl.Description, ils *xsim.Simulator, hw *ve
 				want := ils.State().Get(st.Name, i)
 				got, err := hw.GetMem("s_"+st.Name, i)
 				if err != nil {
-					t.Fatal(err)
+					return err
 				}
 				if !got.Eq(want) {
-					t.Fatalf("trial %d step %d: %s[%d] = %s (hw) vs %s (ils)", trial, step, st.Name, i, got, want)
+					return fmt.Errorf("%s[%d] = %s (hw) vs %s (ils)", st.Name, i, got, want)
 				}
 			}
 		} else {
 			want := ils.State().Get(st.Name, 0)
 			got, err := hw.Get("s_" + st.Name)
 			if err != nil {
-				t.Fatal(err)
+				return err
 			}
 			if !got.Eq(want) {
-				t.Fatalf("trial %d step %d: %s = %s (hw) vs %s (ils)", trial, step, st.Name, got, want)
+				return fmt.Errorf("%s = %s (hw) vs %s (ils)", st.Name, got, want)
 			}
 		}
 	}
+	return nil
 }
 
 // TestCosimControlFlow runs a branching SPAM2 kernel (a down-counting loop)

@@ -3,10 +3,12 @@ package hgen_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/cosim"
 	"repro/internal/hgen"
 	"repro/internal/isdl"
 	"repro/internal/verilog"
@@ -88,7 +90,12 @@ Field EX:
 
 // TestGauntletCosim lock-steps random gauntlet programs on the ILS and on
 // the event-driven simulation of the generated Verilog, comparing every
-// storage element after every instruction.
+// storage element after every instruction. The programs are generated
+// serially (one rand stream, so the trial set is reproducible), then the
+// six trials run concurrently on the cosim pool — each with its own
+// xsim.Simulator and verilog.Sim over the shared parsed Module, which is
+// exactly the read-only sharing the pool's safety rests on. Run under
+// -race by the CI race job.
 func TestGauntletCosim(t *testing.T) {
 	d, err := isdl.Parse(gauntletSource)
 	if err != nil {
@@ -100,10 +107,13 @@ func TestGauntletCosim(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	const trials = 6
 	ops3 := []string{"addc", "subb", "sasr", "scmp", "selp"}
 	ops2 := []string{"swap", "sxtb", "half"}
 	rnd := rand.New(rand.NewSource(11))
-	for trial := 0; trial < 6; trial++ {
+	progs := make([]*asm.Program, trials)
+	texts := make([]string, trials)
+	for trial := 0; trial < trials; trial++ {
 		var lines []string
 		for len(lines) < 30 {
 			switch rnd.Intn(5) {
@@ -122,34 +132,56 @@ func TestGauntletCosim(t *testing.T) {
 			}
 		}
 		lines = append(lines, "halt")
-		p, err := asm.Assemble(d, strings.Join(lines, "\n"))
+		texts[trial] = strings.Join(lines, "\n")
+		progs[trial], err = asm.Assemble(d, texts[trial])
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
 
+	pool := &cosim.Pool{Workers: runtime.NumCPU()}
+	_, err = pool.Run("gauntlet", trials, func(trial int, l *cosim.Lane) error {
+		p := progs[trial]
 		ils := xsim.New(d)
 		if err := ils.Load(p); err != nil {
-			t.Fatal(err)
+			return err
 		}
-		hw, err := verilog.NewSim(mod)
+		var hw *verilog.Sim
+		err := l.Setup(func() error {
+			var err error
+			hw, err = verilog.NewSim(mod)
+			if err != nil {
+				return err
+			}
+			for i, w := range p.Words {
+				if err := hw.SetMem("s_IMEM", i, w); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
-		for i, w := range p.Words {
-			if err := hw.SetMem("s_IMEM", i, w); err != nil {
-				t.Fatal(err)
+		return l.Sim(func() error {
+			for step := 0; !ils.Halted(); step++ {
+				if err := ils.Step(); err != nil {
+					return fmt.Errorf("trial %d step %d: %v\n%s", trial, step, err, texts[trial])
+				}
+				ils.FlushPending()
+				if err := hw.Tick("clk"); err != nil {
+					return fmt.Errorf("trial %d step %d: %v", trial, step, err)
+				}
+				l.AddCycles(1)
+				if err := stateDiff(d, ils, hw); err != nil {
+					return fmt.Errorf("trial %d step %d: %v\n%s", trial, step, err, texts[trial])
+				}
 			}
-		}
-		for step := 0; !ils.Halted(); step++ {
-			if err := ils.Step(); err != nil {
-				t.Fatalf("trial %d step %d: %v\n%s", trial, step, err, strings.Join(lines, "\n"))
-			}
-			ils.FlushPending()
-			if err := hw.Tick("clk"); err != nil {
-				t.Fatal(err)
-			}
-			compareState(t, d, ils, hw, trial, step)
-		}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
