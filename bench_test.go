@@ -234,23 +234,23 @@ func BenchmarkParseISDL(b *testing.B) {
 // metric and span. All variants produce bit-identical results (asserted
 // by TestExploreParallelDeterministic and
 // TestExploreInstrumentedExactCounters).
-func benchExplore(b *testing.B, workers int, cached, instrumented bool) {
+func benchExplore(b *testing.B, workers int, cached, instrumented bool, extra ...explore.Option) {
 	const kernel = "var i, s;\ns = 0;\nfor i = 0 to 7 { s = s + i; }\n"
 	b.ResetTimer()
 	var evaluated int
 	for i := 0; i < b.N; i++ {
-		ex := &explore.Explorer{
-			Base:     machines.SPAMSource,
-			Kernel:   kernel,
-			Weights:  explore.DefaultWeights(),
-			MaxIters: 3,
-			Workers:  workers,
-			NoCache:  !cached,
+		opts := []explore.Option{
+			explore.WithMaxIters(3),
+			explore.WithWorkers(workers),
+		}
+		if !cached {
+			opts = append(opts, explore.WithoutCache())
 		}
 		if instrumented {
-			ex.Obs = obs.NewRegistry()
+			opts = append(opts, explore.WithObs(obs.NewRegistry()))
 		}
-		res, err := ex.Run()
+		opts = append(opts, extra...)
+		res, err := explore.New(machines.SPAMSource, kernel, opts...).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,6 +270,9 @@ func BenchmarkExplore_SPAM(b *testing.B) {
 	b.Run("par", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), false, false) })
 	b.Run("par-cache", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), true, false) })
 	b.Run("par-cache-obs", func(b *testing.B) { benchExplore(b, runtime.NumCPU(), true, true) })
+	b.Run("beam4-par-cache", func(b *testing.B) {
+		benchExplore(b, runtime.NumCPU(), true, false, explore.WithBeam(4))
+	})
 }
 
 // --- Extension: §6.2 pipeline retiming ---------------------------------------

@@ -1,20 +1,35 @@
-// Command explore runs architecture exploration by iterative improvement
-// (paper §1, Figure 1): starting from a base ISDL description, it mutates
-// the instruction set, recompiles the kernel with the retargetable
-// compiler, re-evaluates every candidate with the generated simulator and
-// hardware model, and hill-climbs the run-time/area/power objective.
+// Command explore runs architecture exploration (paper §1, Figure 1):
+// starting from a base ISDL description, it mutates the instruction set,
+// recompiles the kernel with the retargetable compiler, re-evaluates every
+// candidate with the generated simulator and hardware model, and searches
+// the run-time/area/power objective with a pluggable strategy.
 //
 // Usage:
 //
-//	explore -m spam2 -k kernel.k [-iters 8] [-workers n] [-no-cache] [-cache-file c.json] [-o best.isdl]
+//	explore -m spam2 -k kernel.k [-strategy hill|beam] [-beam 4]
+//	        [-restarts n] [-seed s] [-iters 8] [-workers n]
+//	        [-no-cache] [-cache-file c.json] [-o best.isdl]
+//
+// Strategies (-strategy, docs/EXPLORE.md):
+//
+//   - hill (default): accept the best improving neighbour each iteration,
+//     stop at the first local optimum.
+//   - beam: keep the -beam best candidates alive per iteration and
+//     evaluate the union of their neighbours (deduplicated by canonical
+//     ISDL), escaping optima hill climbing stops at.
+//
+// -restarts n additionally re-runs the chosen strategy from n seeded
+// random perturbations of the base (deterministic for a fixed -seed) and
+// reports each restart's best plus the global winner.
 //
 // Neighbour candidates within an iteration are evaluated concurrently
 // (-workers, default NumCPU) and every pipeline stage is memoized across
-// iterations (see docs/PIPELINE.md); the result is bit-identical to a
-// sequential, uncached run. -cache-file persists the serializable stages
-// (compile, simulate, synthesize) across invocations: the file is loaded
-// if it exists and rewritten on success, so a repeated exploration starts
-// with compilation and synthesis fully warm.
+// iterations and restarts (see docs/PIPELINE.md); for every strategy the
+// result is bit-identical to a sequential, uncached run. -cache-file
+// persists the serializable stages (compile, simulate, synthesize) across
+// invocations: the file is loaded if it exists and rewritten on success,
+// so a repeated exploration starts with compilation and synthesis fully
+// warm.
 //
 // The run is instrumented end to end (docs/OBSERVABILITY.md): -trace-out
 // writes a Chrome trace_event file (open in chrome://tracing or
@@ -39,7 +54,11 @@ import (
 func main() {
 	machine := flag.String("m", "", "base machine: .isdl file or builtin (toy, spam, spam2)")
 	kernelFile := flag.String("k", "", "kernel-language workload file")
-	iters := flag.Int("iters", 8, "maximum improvement iterations")
+	strategy := flag.String("strategy", "hill", "search strategy: hill (first local optimum) or beam (top-K frontier)")
+	beamWidth := flag.Int("beam", 4, "frontier width for -strategy beam")
+	restarts := flag.Int("restarts", 0, "seeded random restarts around the chosen strategy (0 = none)")
+	seed := flag.Int64("seed", 1, "perturbation seed for -restarts (fixed seed = byte-identical run)")
+	iters := flag.Int("iters", 8, "maximum improvement iterations (per restart)")
 	workers := flag.Int("workers", 0, "concurrent candidate evaluations per iteration (0 = NumCPU)")
 	noCache := flag.Bool("no-cache", false, "disable evaluation memoization across iterations")
 	cacheFile := flag.String("cache-file", "", "persist the stage cache here across runs (loaded if present, saved on success)")
@@ -52,7 +71,7 @@ func main() {
 	quietObs := flag.Bool("no-summary", false, "suppress the metrics summary table on stderr")
 	flag.Parse()
 	if *machine == "" || *kernelFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: explore -m <machine> -k <kernel.k> [-iters n] [-o best.isdl]")
+		fmt.Fprintln(os.Stderr, "usage: explore -m <machine> -k <kernel.k> [-strategy hill|beam] [-beam w] [-restarts n] [-seed s] [-iters n] [-o best.isdl]")
 		os.Exit(2)
 	}
 	baseSrc, err := loadSource(*machine)
@@ -77,18 +96,30 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	ex := &repro.Explorer{
-		Base:     baseSrc,
-		Kernel:   string(kernel),
-		Weights:  explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow},
-		MaxIters: *iters,
-		Workers:  *workers,
-		NoCache:  *noCache,
-		Cache:    cache,
-		Log:      func(ev explore.Event) { fmt.Println(ev.Line) },
-		Obs:      reg,
+	opts := []explore.Option{
+		explore.WithWeights(explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow}),
+		explore.WithMaxIters(*iters),
+		explore.WithWorkers(*workers),
+		explore.WithLog(func(ev explore.Event) { fmt.Println(ev.Line) }),
+		explore.WithObs(reg),
 	}
-	res, err := ex.Run()
+	switch *strategy {
+	case "hill":
+		// The default HillClimb strategy.
+	case "beam":
+		opts = append(opts, explore.WithBeam(*beamWidth))
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q (want hill or beam)", *strategy))
+	}
+	if *restarts > 0 {
+		opts = append(opts, explore.WithRestarts(*restarts, *seed))
+	}
+	if *noCache {
+		opts = append(opts, explore.WithoutCache())
+	} else {
+		opts = append(opts, explore.WithCache(cache))
+	}
+	res, err := explore.New(baseSrc, string(kernel), opts...).Run()
 	if err != nil {
 		fatal(err)
 	}

@@ -4,6 +4,9 @@
 // functional units, shrinking memories — recompiles the kernel with the
 // retargetable compiler, re-evaluates each candidate with the generated
 // simulator and hardware model, and hill-climbs run time, area and power.
+// Add explore.WithBeam(4) / explore.WithRestarts(3, seed) to the option
+// list to search with a beam frontier or seeded random restarts instead
+// (docs/EXPLORE.md).
 //
 //	go run ./examples/exploration
 package main
@@ -29,14 +32,10 @@ for i = 0 to 31 {
 `
 
 func main() {
-	ex := &repro.Explorer{
-		Base:     repro.Machines()["spam2"],
-		Kernel:   kernel,
-		Weights:  explore.DefaultWeights(),
-		MaxIters: 6,
-		Log:      func(ev explore.Event) { fmt.Println(ev.Line) },
-	}
-	res, err := ex.Run()
+	res, err := repro.NewExploration(repro.Machines()["spam2"], kernel,
+		explore.WithMaxIters(6),
+		explore.WithLog(func(ev explore.Event) { fmt.Println(ev.Line) }),
+	).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,46 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/machines"
+)
+
+// TestExplorerCompatMatchesNew: the deprecated flat-struct Explorer is a
+// wrapper over the Config/options API and must produce a Result identical
+// to explore.New with the same settings — same final source, same step
+// sequence, same scores — on the toy machine.
+func TestExplorerCompatMatchesNew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration loop is slow")
+	}
+	const kernel = "var i, s;\ns = 0;\nfor i = 0 to 3 { s = s + i; }\n"
+	old := &explore.Explorer{
+		Base:     machines.ToySource,
+		Kernel:   kernel,
+		Weights:  explore.DefaultWeights(),
+		MaxIters: 2,
+		Workers:  2,
+	}
+	oldRes, err := old.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := explore.New(machines.ToySource, kernel,
+		explore.WithMaxIters(2),
+		explore.WithWorkers(2),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "old Explorer vs explore.New", oldRes, newRes)
+	ia, fa := scoreOf(oldRes.Initial), scoreOf(oldRes.Final)
+	ib, fb := scoreOf(newRes.Initial), scoreOf(newRes.Final)
+	if ia != ib || fa != fb {
+		t.Errorf("scores differ: old (%v, %v) vs new (%v, %v)", ia, fa, ib, fb)
+	}
+	if oldRes.Restarts != nil || newRes.Restarts != nil {
+		t.Error("hill-climb runs must not report restart results")
+	}
+}

@@ -1,31 +1,39 @@
 // Package explore implements architecture exploration by iterative
 // improvement (paper §1, Figure 1). Each iteration takes the current
-// candidate ISDL description, generates neighbours by instruction-set-level
-// edits — removing an operation, retiming a functional unit, resizing a
-// memory — recompiles the application with the retargetable compiler,
+// candidate ISDL description(s), generates neighbours by instruction-set-
+// level edits — removing an operation, retiming a functional unit, resizing
+// a memory — recompiles the application with the retargetable compiler,
 // re-evaluates with the generated simulator and hardware model
-// (internal/core), and keeps the best improvement. The loop stops when no
-// neighbour improves the objective.
+// (internal/core), and keeps the best candidates according to the
+// configured search Strategy: HillClimb (the paper's loop — accept the
+// best improving move, stop at the first local optimum), Beam (keep a
+// top-K frontier alive per iteration) or Restarts (re-run an inner
+// strategy from seeded random perturbations of the base).
+//
+// The entry point is New with functional options:
+//
+//	res, err := explore.New(base, kernel,
+//	        explore.WithBeam(4),
+//	        explore.WithRestarts(3, 1),
+//	        explore.WithWorkers(8)).Run()
 //
 // Candidates are materialized as ISDL text (isdl.Format) and re-parsed, so
 // every mutation passes the full semantic validation — exactly the paper's
 // flow, where the architecture synthesis system outputs an ISDL description
 // and every tool is regenerated from it. Changes happen at the granularity
 // of a single operation definition, the fine grain §4.1 argues
-// parameterized-architecture systems cannot reach.
+// parameterized-architecture systems cannot reach. Whatever the strategy
+// and worker count, results are bit-identical: candidates are evaluated by
+// a bounded pool but reduced in move order.
 package explore
 
 import (
 	"fmt"
-	"runtime"
-	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/isdl"
 	"repro/internal/obs"
-	"repro/internal/xsim"
 )
 
 // Weights define the scalar objective (lower is better).
@@ -41,7 +49,9 @@ func DefaultWeights() Weights { return Weights{Runtime: 1, Area: 0.5, Power: 0.2
 
 // Step records one accepted or rejected exploration move.
 type Step struct {
-	Iter     int
+	Iter int
+	// Restart is the restart the step belongs to (0 outside Restarts).
+	Restart  int
 	Action   string
 	Eval     *core.Evaluation
 	Score    float64
@@ -55,9 +65,56 @@ type Result struct {
 	// FinalSource is the ISDL text of the winning candidate.
 	FinalSource string
 	Steps       []Step
+	// Restarts reports each restart's best when the run used the Restarts
+	// strategy (nil otherwise). Final/FinalSource are the global winner.
+	Restarts []RestartResult
 }
 
-// Explorer drives the loop.
+// Event is one structured exploration log record. Kind says what
+// happened, the typed fields carry what is known at that point, and Line
+// always holds the formatted human-readable text (exactly the lines the
+// old Log func(string) contract delivered).
+type Event struct {
+	// Kind is one of "base", "candidate", "infeasible", "cache",
+	// "accept", "frontier", "restart", "stop".
+	Kind string
+	// Iter is the 1-based iteration; 0 for the base evaluation and for
+	// restart-level events.
+	Iter int
+	// Restart is the restart the event belongs to (0 outside Restarts).
+	Restart int
+	// Action is the mutation that produced the candidate (candidate,
+	// infeasible and accept events) or the perturbation (restart events).
+	Action string
+	// Score is the objective value. It is meaningful only when Scored is
+	// true: an infeasible candidate has no score, and its zero Score must
+	// not be read as "free" by JSON log consumers.
+	Score float64
+	// Scored reports whether Score carries a real objective value (base,
+	// candidate and accept events).
+	Scored bool
+	// Accepted marks a candidate that improved on the best-so-far.
+	Accepted bool
+	// Eval is the candidate's evaluation (base, candidate, accept).
+	Eval *core.Evaluation
+	// Err says why the candidate was infeasible (infeasible events).
+	Err error
+	// Frontier lists the surviving frontier's scores, best first
+	// (frontier events, Beam strategy only).
+	Frontier []float64
+	// Line is the formatted log line.
+	Line string
+}
+
+// Explorer is the original flat-struct exploration API.
+//
+// Deprecated: use New with functional options (WithWorkers, WithBeam,
+// WithRestarts, ...), which reaches the beam and restart strategies this
+// struct predates. Explorer remains for one release of grace as a thin
+// wrapper over Config and produces results identical to
+// New(base, kernel, WithWeights(e.Weights), ...).Run() with a HillClimb
+// strategy; note New defaults Weights to DefaultWeights() while this
+// struct's zero value scores everything 0.
 type Explorer struct {
 	// Base is the starting ISDL description source.
 	Base string
@@ -71,248 +128,33 @@ type Explorer struct {
 	MaxIters int
 	// Workers bounds the number of neighbour candidates evaluated
 	// concurrently within one iteration (default runtime.NumCPU()).
-	// Results are bit-identical to Workers=1 regardless of completion
-	// order: candidates are reduced in move order, so ties break exactly
-	// as in the sequential loop.
 	Workers int
-	// NoCache disables evaluation memoization. By default every pipeline
-	// stage of every scored candidate is remembered (content-addressed
-	// per-stage keys over canonical ISDL text, kernel and program image;
-	// see core.StageCache and docs/PIPELINE.md), so neighbours
-	// regenerated across hill-climbing iterations are evaluated once and
-	// partial rework (e.g. re-synthesis after a kernel change) is skipped.
+	// NoCache disables evaluation memoization.
 	NoCache bool
-	// Cache, when non-nil, is used instead of a fresh per-Run cache. Each
-	// stage's key covers that stage's true inputs — candidate description
-	// (the synthesis stage only its structural fingerprint), kernel,
-	// program image — so sharing a cache across runs with different
-	// Kernels (or Bases) is sound. The keys do not cover the Evaluator
-	// configuration (technology library, synthesis options, instruction
-	// limit): share a cache across runs only when that configuration is
-	// identical.
+	// Cache, when non-nil, is used instead of a fresh per-Run cache.
 	Cache *core.EvalCache
-	// Log receives one structured Event per exploration observation: the
-	// base score, every scored candidate, infeasible candidates, per-
-	// iteration cache statistics, accepted moves and the stop decision.
-	// Nil discards. Event.Line always carries the formatted text, so a
-	// logger that only wants the classic log prints that. Events are
-	// emitted from Run's goroutine, never from evaluation workers.
+	// Log receives one structured Event per exploration observation.
 	Log func(Event)
-	// Obs, when non-nil, collects exploration metrics and spans: one span
-	// per iteration (lane 0, "explore") and per scored candidate (one
-	// lane per worker), counters explore.candidates and
-	// explore.moves.accepted / .rejected / .infeasible, the pipeline's
-	// per-stage instrumentation (core.Pipeline.Obs) and the stage cache's
-	// hit/miss counters (core.StageCache.Bind).
+	// Obs, when non-nil, collects exploration metrics and spans.
 	Obs *obs.Registry
 }
 
-// Event is one structured exploration log record. Kind says what
-// happened, the typed fields carry what is known at that point, and Line
-// always holds the formatted human-readable text (exactly the lines the
-// old Log func(string) contract delivered).
-type Event struct {
-	// Kind is one of "base", "candidate", "infeasible", "cache",
-	// "accept", "stop".
-	Kind string
-	// Iter is the 1-based iteration; 0 for the base evaluation.
-	Iter int
-	// Action is the mutation that produced the candidate (candidate,
-	// infeasible and accept events).
-	Action string
-	// Score is the objective value (base, candidate and accept events).
-	Score float64
-	// Accepted marks a candidate that improved on the best-so-far.
-	Accepted bool
-	// Eval is the candidate's evaluation (base, candidate, accept).
-	Eval *core.Evaluation
-	// Err says why the candidate was infeasible (infeasible events).
-	Err error
-	// Line is the formatted log line.
-	Line string
-}
-
-func (e *Explorer) emit(ev Event) {
-	if e.Log != nil {
-		e.Log(ev)
-	}
-}
-
-// Run explores from the base description.
+// Run explores from the base description by hill climbing.
 func (e *Explorer) Run() (*Result, error) {
-	ev := e.Evaluator
-	if ev == nil {
-		ev = core.NewEvaluator()
+	cfg := &Config{
+		Base:      e.Base,
+		Kernel:    e.Kernel,
+		Weights:   e.Weights,
+		Evaluator: e.Evaluator,
+		MaxIters:  e.MaxIters,
+		Workers:   e.Workers,
+		NoCache:   e.NoCache,
+		Cache:     e.Cache,
+		Log:       e.Log,
+		Obs:       e.Obs,
+		Strategy:  HillClimb{},
 	}
-	maxIters := e.MaxIters
-	if maxIters <= 0 {
-		maxIters = 16
-	}
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	cache := e.Cache
-	if cache == nil && !e.NoCache {
-		cache = core.NewEvalCache()
-	}
-	var stages *core.StageCache
-	if cache != nil {
-		stages = cache.Stages()
-		stages.Bind(e.Obs) // no-op when Obs is nil or already bound
-	}
-	pipe := &core.Pipeline{Evaluator: ev, Cache: stages, Obs: e.Obs}
-	e.Obs.SetLaneName(0, "explore")
-	for w := 0; w < workers; w++ {
-		e.Obs.SetLaneName(1+w, fmt.Sprintf("worker %d", w))
-	}
-	// Compiled-op reuse happens below the pipeline, in the process-wide
-	// xsim cache; report per-run deltas alongside the stage counters.
-	opHits0, opMisses0 := xsim.SharedOpCache().Stats()
-
-	curSrc := e.Base
-	baseSpan := e.Obs.StartSpanLane("candidate", 1)
-	baseSpan.SetArg("action", "base")
-	e.Obs.Counter("explore.candidates").Inc()
-	curEval, err := e.evaluate(pipe, curSrc, baseSpan)
-	baseSpan.End()
-	if err != nil {
-		return nil, fmt.Errorf("explore: base candidate: %w", err)
-	}
-	curScore := e.score(curEval)
-	res := &Result{Initial: curEval}
-	e.emit(Event{Kind: "base", Score: curScore, Eval: curEval,
-		Line: fmt.Sprintf("base: score %.2f (%s)", curScore, oneLine(curEval))})
-
-	for iter := 1; iter <= maxIters; iter++ {
-		iterSpan := e.Obs.StartSpan("iteration")
-		iterSpan.SetArg("iter", strconv.Itoa(iter))
-		moves, err := neighbours(curSrc)
-		if err != nil {
-			iterSpan.End()
-			return nil, err
-		}
-		outs := e.evaluateAll(pipe, moves, workers, iterSpan)
-		bestScore := curScore
-		var bestSrc, bestAction string
-		var bestEval *core.Evaluation
-		// Reduce in move order: acceptance and tie-breaking are identical
-		// to the sequential loop no matter how the workers interleaved.
-		for i, mv := range moves {
-			cand, err := outs[i].eval, outs[i].err
-			if err != nil {
-				// Infeasible candidate (e.g. the compiler lost an
-				// operation it needs): skip.
-				e.Obs.Counter("explore.moves.infeasible").Inc()
-				e.emit(Event{Kind: "infeasible", Iter: iter, Action: mv.action, Err: err,
-					Line: fmt.Sprintf("iter %d: %-28s infeasible: %v", iter, mv.action, err)})
-				continue
-			}
-			s := e.score(cand)
-			accepted := s < bestScore
-			if accepted {
-				e.Obs.Counter("explore.moves.accepted").Inc()
-			} else {
-				e.Obs.Counter("explore.moves.rejected").Inc()
-			}
-			res.Steps = append(res.Steps, Step{Iter: iter, Action: mv.action, Eval: cand, Score: s, Accepted: accepted})
-			e.emit(Event{Kind: "candidate", Iter: iter, Action: mv.action, Score: s, Accepted: accepted, Eval: cand,
-				Line: fmt.Sprintf("iter %d: %-28s score %.2f (%s)", iter, mv.action, s, oneLine(cand))})
-			if accepted {
-				bestScore, bestSrc, bestAction, bestEval = s, mv.src, mv.action, cand
-			}
-		}
-		if stages != nil {
-			opHits, opMisses := xsim.SharedOpCache().Stats()
-			e.emit(Event{Kind: "cache", Iter: iter,
-				Line: fmt.Sprintf("iter %d: cache %s; op-closures %d reused / %d compiled",
-					iter, stages.StatsLine(), opHits-opHits0, opMisses-opMisses0)})
-		}
-		if bestEval == nil {
-			e.emit(Event{Kind: "stop", Iter: iter,
-				Line: fmt.Sprintf("iter %d: no improving move; stopping", iter)})
-			iterSpan.End()
-			break
-		}
-		e.emit(Event{Kind: "accept", Iter: iter, Action: bestAction, Score: bestScore, Accepted: true, Eval: bestEval,
-			Line: fmt.Sprintf("iter %d: ACCEPT %s (score %.2f -> %.2f)", iter, bestAction, curScore, bestScore)})
-		iterSpan.SetArg("accepted", bestAction)
-		iterSpan.End()
-		curSrc, curScore, curEval = bestSrc, bestScore, bestEval
-	}
-	res.Final = curEval
-	res.FinalSource = curSrc
-	return res, nil
-}
-
-// outcome is one candidate's pipeline result.
-type outcome struct {
-	eval *core.Evaluation
-	err  error
-}
-
-// evaluateAll scores every move, fanning out over a bounded worker pool.
-// outs[i] always corresponds to moves[i]; completion order never matters.
-// Each scored candidate gets a span on its worker's lane, parented to the
-// iteration span, so the trace shows the fan-out side by side.
-func (e *Explorer) evaluateAll(pipe *core.Pipeline, moves []move, workers int, iterSpan *obs.Span) []outcome {
-	outs := make([]outcome, len(moves))
-	if workers > len(moves) {
-		workers = len(moves)
-	}
-	scoreOne := func(i, lane int) {
-		sp := iterSpan.ChildLane("candidate", lane)
-		sp.SetArg("action", moves[i].action)
-		e.Obs.Counter("explore.candidates").Inc()
-		outs[i].eval, outs[i].err = e.evaluate(pipe, moves[i].src, sp)
-		if outs[i].err != nil {
-			sp.SetArg("err", outs[i].err.Error())
-		}
-		sp.End()
-	}
-	if workers <= 1 {
-		for i := range moves {
-			scoreOne(i, 1)
-		}
-		return outs
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(lane int) {
-			defer wg.Done()
-			for i := range next {
-				scoreOne(i, lane)
-			}
-		}(1 + w)
-	}
-	for i := range moves {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return outs
-}
-
-func (e *Explorer) score(ev *core.Evaluation) float64 {
-	return ev.Score(e.Weights.Runtime, e.Weights.Area, e.Weights.Power)
-}
-
-// evaluate runs the staged pipeline (core.Pipeline) for one candidate:
-// parse → compile kernel → assemble → simulate → synthesize → combine,
-// with every post-parse stage memoized per content-addressed key when the
-// pipeline has a cache. The whole-pipeline key is the canonical ISDL text
-// (isdl.Format of the parsed candidate) plus the kernel, so the same
-// architecture regenerated in a later iteration — or reached through a
-// different mutation path — is scored once; partially matching candidates
-// (e.g. the same architecture under a changed kernel) still reuse the
-// stages whose inputs are unchanged. Deterministic failures (uncompilable
-// candidates) are cached too; parse errors are not, since parsing is the
-// cheap step and an unparsable text has no canonical form to key by.
-// Stage spans of executed stages become children of sp in the trace.
-func (e *Explorer) evaluate(pipe *core.Pipeline, src string, sp *obs.Span) (*core.Evaluation, error) {
-	return pipe.EvaluateKernelTraced(src, e.Kernel, "kernel", sp)
+	return cfg.Run()
 }
 
 // move is one candidate mutation.
@@ -321,7 +163,10 @@ type move struct {
 	src    string
 }
 
-// neighbours generates the mutation set of a description.
+// neighbours generates the mutation set of a description. Every move's
+// src is canonical ISDL text (isdl.Format of the mutated description), so
+// equal architectures reached through different paths compare equal as
+// strings.
 func neighbours(src string) ([]move, error) {
 	base, err := isdl.Parse(src)
 	if err != nil {
@@ -447,6 +292,13 @@ func (r *Result) Report() string {
 			mark = "*"
 		}
 		fmt.Fprintf(&sb, "%s iter %-2d %-30s score %10.2f  %s\n", mark, s.Iter, s.Action, s.Score, oneLine(s.Eval))
+	}
+	for _, rr := range r.Restarts {
+		if rr.Err != nil {
+			fmt.Fprintf(&sb, "restart %d (%s): infeasible: %v\n", rr.Index, rr.Perturbation, rr.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "restart %d (%s): best score %.2f  %s\n", rr.Index, rr.Perturbation, rr.Score, oneLine(rr.Eval))
 	}
 	fmt.Fprintf(&sb, "final:   %s\n", oneLine(r.Final))
 	return sb.String()

@@ -1,0 +1,98 @@
+package randmachine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isdl"
+)
+
+// Perturb applies n random — but always semantically valid — mutations to
+// an existing ISDL description and returns the mutated canonical source
+// plus a human-readable description of each applied mutation. It powers
+// the exploration engine's seeded random restarts: perturbations are drawn
+// deterministically from rnd, so a fixed seed reproduces the exact same
+// start points.
+//
+// The mutation set is deliberately conservative — retime an operation's
+// pipeline (deepen always, shorten when Latency > 1) or double a data
+// memory — so a perturbed machine still compiles every kernel the base
+// compiled: no operation is removed and no memory shrinks below data the
+// kernel placed in it.
+func Perturb(rnd *rand.Rand, src string, n int) (string, []string, error) {
+	d, err := isdl.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	cur := isdl.Format(d)
+	var actions []string
+	for step := 0; step < n; step++ {
+		d, err := isdl.Parse(cur)
+		if err != nil {
+			return "", nil, fmt.Errorf("perturb step %d: %w", step, err)
+		}
+		muts := perturbations(d)
+		if len(muts) == 0 {
+			break
+		}
+		m := muts[rnd.Intn(len(muts))]
+		m.apply()
+		text := isdl.Format(d)
+		if _, err := isdl.Parse(text); err != nil {
+			// A mutation from the valid set must stay valid; treat a
+			// failure as a bug rather than silently skipping it.
+			return "", nil, fmt.Errorf("perturb %q produced invalid ISDL: %w", m.action, err)
+		}
+		cur = text
+		actions = append(actions, m.action)
+	}
+	return cur, actions, nil
+}
+
+// perturbation is one applicable mutation of a parsed description.
+type perturbation struct {
+	action string
+	apply  func()
+}
+
+// perturbations enumerates the valid mutations of d in a deterministic
+// order (field/op/storage declaration order), so rnd draws index i against
+// the same list on every run.
+func perturbations(d *isdl.Description) []perturbation {
+	var out []perturbation
+	for fi := range d.Fields {
+		for oi := range d.Fields[fi].Ops {
+			op := d.Fields[fi].Ops[oi]
+			if op.Name == "nop" {
+				continue
+			}
+			name := op.QualName()
+			o := op
+			out = append(out, perturbation{
+				action: "deepen " + name + " pipeline",
+				apply:  func() { o.Timing.Latency++; o.Costs.Stall++ },
+			})
+			if op.Timing.Latency > 1 {
+				out = append(out, perturbation{
+					action: "shorten " + name + " pipeline",
+					apply: func() {
+						o.Timing.Latency--
+						if o.Costs.Stall > 0 {
+							o.Costs.Stall--
+						}
+					},
+				})
+			}
+		}
+	}
+	for _, st := range d.Storage {
+		if st.Kind == isdl.StDataMemory {
+			s := st
+			out = append(out, perturbation{
+				action: fmt.Sprintf("double %s depth", st.Name),
+				apply:  func() { s.Depth *= 2 },
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package randmachine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isdl"
+	"repro/internal/machines"
+)
+
+// TestPerturbDeterministic: the same seed must produce byte-identical
+// perturbations — the exploration engine's seeded restarts depend on it.
+func TestPerturbDeterministic(t *testing.T) {
+	srcA, actsA, err := Perturb(rand.New(rand.NewSource(7)), machines.SPAMSource, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcB, actsB, err := Perturb(rand.New(rand.NewSource(7)), machines.SPAMSource, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcA != srcB {
+		t.Error("same seed produced different sources")
+	}
+	if strings.Join(actsA, ";") != strings.Join(actsB, ";") {
+		t.Errorf("same seed produced different actions: %v vs %v", actsA, actsB)
+	}
+	if len(actsA) != 3 {
+		t.Errorf("applied %d mutations, want 3", len(actsA))
+	}
+}
+
+// TestPerturbStaysValid: every perturbed machine must parse, and the
+// mutation set must be conservative — no operation disappears, so any
+// kernel the base compiled still compiles.
+func TestPerturbStaysValid(t *testing.T) {
+	for _, name := range []string{"toy", "spam", "spam2", "risc32"} {
+		src := map[string]string{
+			"toy": machines.ToySource, "spam": machines.SPAMSource,
+			"spam2": machines.SPAM2Source, "risc32": machines.RISC32Source,
+		}[name]
+		base, err := isdl.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 8; seed++ {
+			out, _, err := Perturb(rand.New(rand.NewSource(seed)), src, 2)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			d, err := isdl.Parse(out)
+			if err != nil {
+				t.Fatalf("%s seed %d: perturbed source invalid: %v", name, seed, err)
+			}
+			for fi := range base.Fields {
+				if len(d.Fields[fi].Ops) != len(base.Fields[fi].Ops) {
+					t.Errorf("%s seed %d: field %s lost operations", name, seed, base.Fields[fi].Name)
+				}
+			}
+			for _, st := range base.Storage {
+				if got := d.StorageByName[st.Name].Depth; got < st.Depth {
+					t.Errorf("%s seed %d: %s shrank %d -> %d", name, seed, st.Name, st.Depth, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPerturbChangesMachine: a perturbation must actually move the start
+// point (the canonical text differs from the canonical base).
+func TestPerturbChangesMachine(t *testing.T) {
+	d, err := isdl.Parse(machines.SPAMSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := isdl.Format(d)
+	out, acts, err := Perturb(rand.New(rand.NewSource(1)), machines.SPAMSource, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == canon {
+		t.Errorf("perturbation %v left the machine unchanged", acts)
+	}
+}

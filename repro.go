@@ -56,10 +56,33 @@ type (
 	// candidate and workload.
 	Evaluation = core.Evaluation
 	// Explorer drives architecture exploration by iterative improvement.
+	//
+	// Deprecated: use NewExploration with options (explore.WithBeam,
+	// explore.WithRestarts, ...); the flat struct only reaches the
+	// hill-climb strategy and remains for one release of grace.
 	Explorer = explore.Explorer
+	// ExplorationConfig is the option-built exploration configuration
+	// behind NewExploration.
+	ExplorationConfig = explore.Config
+	// ExplorationOption configures NewExploration (explore.WithWorkers,
+	// explore.WithBeam, explore.WithRestarts, ...).
+	ExplorationOption = explore.Option
+	// SearchStrategy picks the exploration walk: explore.HillClimb,
+	// explore.Beam or explore.Restarts.
+	SearchStrategy = explore.Strategy
 	// ExplorationResult is an exploration run's history and outcome.
 	ExplorationResult = explore.Result
 )
+
+// NewExploration builds an architecture exploration over a base ISDL
+// description and kernel. Without options it hill-climbs with default
+// weights; see package explore for the strategy and tuning options:
+//
+//	res, err := repro.NewExploration(base, kernel,
+//	        explore.WithBeam(4), explore.WithRestarts(3, 1)).Run()
+func NewExploration(base, kernel string, opts ...ExplorationOption) *ExplorationConfig {
+	return explore.New(base, kernel, opts...)
+}
 
 // ParseISDL parses and validates an ISDL description (paper §2; grammar in
 // docs/ISDL.md).
