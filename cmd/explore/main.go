@@ -8,6 +8,7 @@
 //
 //	explore -m spam2 -k kernel.k [-strategy hill|beam] [-beam 4]
 //	        [-restarts n] [-seed s] [-iters 8] [-workers n]
+//	        [-sim-backend interp|compiled|aot]
 //	        [-no-cache] [-cache-file c.json] [-o best.isdl]
 //
 // Strategies (-strategy, docs/EXPLORE.md):
@@ -60,6 +61,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "perturbation seed for -restarts (fixed seed = byte-identical run)")
 	iters := flag.Int("iters", 8, "maximum improvement iterations (per restart)")
 	workers := flag.Int("workers", 0, "concurrent candidate evaluations per iteration (0 = NumCPU)")
+	simBackend := flag.String("sim-backend", "", "simulator backend for evaluations: interp, compiled (default) or aot (docs/GENSIM.md)")
 	noCache := flag.Bool("no-cache", false, "disable evaluation memoization across iterations")
 	cacheFile := flag.String("cache-file", "", "persist the stage cache here across runs (loaded if present, saved on success)")
 	out := flag.String("o", "", "write the winning ISDL description here")
@@ -95,6 +97,11 @@ func main() {
 		}
 	}
 
+	sb, err := xsim.ParseBackend(*simBackend)
+	if err != nil {
+		fatal(err)
+	}
+
 	reg := obs.NewRegistry()
 	opts := []explore.Option{
 		explore.WithWeights(explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow}),
@@ -102,6 +109,11 @@ func main() {
 		explore.WithWorkers(*workers),
 		explore.WithLog(func(ev explore.Event) { fmt.Println(ev.Line) }),
 		explore.WithObs(reg),
+	}
+	if *simBackend != "" {
+		ev := core.NewEvaluator()
+		ev.SimBackend = sb
+		opts = append(opts, explore.WithEvaluator(ev))
 	}
 	switch *strategy {
 	case "hill":

@@ -7,6 +7,12 @@
 //	xsim -m <machine>                       interactive session
 //	xsim -m <machine> -s prog.s -run        assemble, run to halt, stats
 //	xsim -m <machine> prog.xbin -batch f    load image, run a batch script
+//
+// -backend selects the execution strategy (interp, compiled, aot; see
+// docs/GENSIM.md). The aot backend generates and natively compiles a
+// specialized simulator per description; it drives the -run batch path, and
+// falls back to compiled for interactive and -batch sessions (which need
+// the in-process cores) or when no Go toolchain is available.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"repro"
+	_ "repro/internal/gensim" // registers the aot backend
 	"repro/internal/obs"
 	"repro/internal/xsim"
 )
@@ -25,17 +32,33 @@ func main() {
 	source := flag.String("s", "", "assembly source to assemble and load")
 	batch := flag.String("batch", "", "batch command script to execute")
 	run := flag.Bool("run", false, "run to halt and print statistics")
+	backend := flag.String("backend", "", "simulator backend: interp, compiled (default) or aot")
 	metricsOut := flag.String("metrics-out", "", "write simulator perf counters as metrics JSON here")
 	flag.Parse()
 	if *machine == "" {
-		fmt.Fprintln(os.Stderr, "usage: xsim -m <machine> [-s prog.s | prog.xbin] [-batch script] [-run]")
+		fmt.Fprintln(os.Stderr, "usage: xsim -m <machine> [-s prog.s | prog.xbin] [-batch script] [-run] [-backend interp|compiled|aot]")
 		os.Exit(2)
+	}
+	b, err := xsim.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
 	}
 	d, err := loadDescription(*machine)
 	if err != nil {
 		fatal(err)
 	}
+	if b == xsim.BackendAOT && *run && *batch == "" {
+		runEngine(d, b, *source, flag.Args(), *metricsOut)
+		return
+	}
+	if b == xsim.BackendAOT {
+		fmt.Fprintln(os.Stderr, "xsim: aot backend drives the -run batch path only; using compiled for this session")
+		b = xsim.BackendCompiled
+	}
 	sim := xsim.New(d)
+	if b == xsim.BackendInterp {
+		sim.CompiledCore = false
+	}
 	sess := xsim.NewSession(sim, os.Stdout)
 	sess.Open = os.ReadFile
 	sess.Create = func(name string) (io.WriteCloser, error) { return os.Create(name) }
@@ -97,6 +120,69 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote metrics %s\n", *metricsOut)
+	}
+}
+
+// runEngine is the backend-generic batch path: load a program into an
+// engine of the requested backend, run to halt, print the same stats and
+// perf summaries as the session's run/stats/perf commands.
+func runEngine(d *repro.Description, b xsim.Backend, source string, args []string, metricsOut string) {
+	var p *repro.Program
+	var err error
+	switch {
+	case source != "":
+		blob, rerr := os.ReadFile(source)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		p, err = repro.Assemble(d, string(blob))
+	case len(args) == 1:
+		blob, rerr := os.ReadFile(args[0])
+		if rerr != nil {
+			fatal(rerr)
+		}
+		p, err = repro.UnmarshalProgram(d, blob)
+	default:
+		fatal(fmt.Errorf("-run with -backend %s needs -s prog.s or a prog.xbin argument", b))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	eng, info, err := xsim.NewEngine(d, b)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	if info.FallbackReason != "" {
+		fmt.Fprintf(os.Stderr, "xsim: %s backend unavailable (%s); using %s\n",
+			info.Requested, info.FallbackReason, info.Used)
+	}
+	if err := eng.Load(p); err != nil {
+		fatal(err)
+	}
+	runErr := eng.Run(0)
+	st := eng.Stats()
+	fmt.Printf("backend %s: halted=%v at cycle %d\n", info.Used, eng.Halted(), eng.Cycle())
+	if runErr != nil {
+		fmt.Printf("fault: %v\n", runErr)
+	}
+	fmt.Print(st.Summary(d))
+	fmt.Print(eng.Perf().Summary())
+	if metricsOut != "" {
+		reg := obs.NewRegistry()
+		eng.Perf().Publish(reg)
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteMetricsJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s\n", metricsOut)
 	}
 }
 

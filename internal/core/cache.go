@@ -47,11 +47,18 @@ const (
 	// *Evaluation, keyed like the whole pipeline: (canonical ISDL,
 	// kernel) via EvalKey.
 	StageCombine
+	// StageCodegen is the aot simulator generator (internal/gensim):
+	// canonical ISDL → generated+compiled specialized simulator binary.
+	// Only run when the evaluator selects the aot backend. Memoized in
+	// process (success and unsupported-description outcomes) but never
+	// persisted — the artifact is a path into gensim's own on-disk build
+	// cache, which already survives processes.
+	StageCodegen
 	// NumStages is the stage count (for iteration).
 	NumStages
 )
 
-var stageNames = [NumStages]string{"parse", "compile", "assemble", "simulate", "synthesize", "combine"}
+var stageNames = [NumStages]string{"parse", "compile", "assemble", "simulate", "synthesize", "combine", "codegen"}
 
 // String returns the stage's short name.
 func (s Stage) String() string {

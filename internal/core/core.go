@@ -76,6 +76,13 @@ type Evaluator struct {
 	// MaxInstructions bounds a single simulation (0 = one hundred million,
 	// a backstop against non-halting candidates).
 	MaxInstructions int64
+	// SimBackend selects the simulator execution strategy (interp,
+	// compiled, aot); empty is the compiled default. The aot backend
+	// generates and natively compiles a specialized simulator per
+	// description (internal/gensim) and falls back to compiled when the
+	// toolchain is unavailable or the description is unsupported, so
+	// setting it never makes an evaluation fail.
+	SimBackend xsim.Backend
 }
 
 // NewEvaluator returns an evaluator with the paper's defaults.
@@ -87,19 +94,9 @@ func NewEvaluator() *Evaluator {
 
 // Evaluate runs the full methodology for one candidate and workload.
 func (ev *Evaluator) Evaluate(d *isdl.Description, prog *asm.Program, workload string) (*Evaluation, error) {
-	sim := xsim.New(d)
-	if err := sim.Load(prog); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
-	}
-	limit := ev.MaxInstructions
-	if limit <= 0 {
-		limit = 100_000_000
-	}
-	if err := sim.Run(limit); err != nil {
-		return nil, fmt.Errorf("core: simulate: %w", err)
-	}
-	if !sim.Halted() {
-		return nil, fmt.Errorf("core: workload %s did not halt within %d instructions", workload, limit)
+	simArt, err := runSimulation(d, prog, ev.MaxInstructions, workload, ev.SimBackend, nil)
+	if err != nil {
+		return nil, err
 	}
 
 	hw, err := hgen.Synthesize(d, ev.Lib, ev.Synthesis)
@@ -107,7 +104,9 @@ func (ev *Evaluator) Evaluate(d *isdl.Description, prog *asm.Program, workload s
 		return nil, fmt.Errorf("core: synthesize: %w", err)
 	}
 
-	return Combine(d, workload, sim, hw, ev.Lib), nil
+	return combineArtifacts(d.Name, workload, simArt,
+		SynthArtifact{CycleNs: hw.CycleNs, AreaCells: hw.AreaCells, EnergyPerInstrPJ: hw.EnergyPerInstrPJ, Result: hw},
+		ev.Lib), nil
 }
 
 // EvaluateSource is the convenience entry point over raw text: the ISDL

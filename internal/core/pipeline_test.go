@@ -6,9 +6,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/gensim"
 	"repro/internal/isdl"
 	"repro/internal/machines"
 	"repro/internal/obs"
+	"repro/internal/xsim"
 )
 
 const pipeKernelA = "var x, y;\nx = 2;\ny = x + 3;\n"
@@ -50,6 +52,12 @@ func TestPipelineStageKeyComposition(t *testing.T) {
 	}
 	cold := cache.PerStage()
 	for s := StageCompile; s < NumStages; s++ {
+		if s == StageCodegen {
+			// Codegen runs only when the aot simulator backend is
+			// requested (TestPipelineCodegenStage).
+			wantStage(t, cold, s, 0, 0)
+			continue
+		}
 		if cold[s].Misses != 1 || cold[s].Hits != 0 {
 			t.Errorf("cold run, stage %s: %+v, want exactly one miss", s, cold[s])
 		}
@@ -208,6 +216,46 @@ func TestPipelineInstrumentation(t *testing.T) {
 	after := reg.Counters()
 	if after["cache.combine.hits"] != counters["cache.combine.hits"]+1 {
 		t.Errorf("post-bind combine hits = %d, want %d", after["cache.combine.hits"], counters["cache.combine.hits"]+1)
+	}
+}
+
+// TestPipelineCodegenStage: with the aot simulator backend, codegen runs as
+// its own memoized stage — one miss on the first evaluation of a
+// description, a hit for every later kernel on the same description — and
+// the resulting figures are bit-identical to the default backend's.
+func TestPipelineCodegenStage(t *testing.T) {
+	if _, err := gensim.Build(machines.Toy()); err != nil {
+		t.Skipf("aot backend unavailable: %v", err)
+	}
+	src := toyCanonical(t)
+	cache := NewStageCache()
+	ev := NewEvaluator()
+	ev.SimBackend = xsim.BackendAOT
+	pipe := &Pipeline{Evaluator: ev, Cache: cache}
+
+	aot, err := pipe.EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cache.PerStage()
+	wantStage(t, cold, StageCodegen, 0, 1)
+
+	// A different kernel on the same description reuses the built simulator.
+	snap := cache.PerStage()
+	if _, err := pipe.EvaluateKernel(src, pipeKernelB, "kernel"); err != nil {
+		t.Fatal(err)
+	}
+	d := statsDelta(snap, cache.PerStage())
+	wantStage(t, d, StageCodegen, 1, 0)
+
+	// The aot path produces the same evaluation as the default backend.
+	plain, err := (&Pipeline{}).EvaluateKernel(src, pipeKernelA, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aot.Cycles != plain.Cycles || aot.RuntimeUs != plain.RuntimeUs ||
+		aot.AreaCells != plain.AreaCells || aot.PowerMW != plain.PowerMW {
+		t.Errorf("aot evaluation differs from default backend: %+v vs %+v", aot, plain)
 	}
 }
 

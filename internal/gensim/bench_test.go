@@ -1,0 +1,85 @@
+package gensim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machines"
+	"repro/internal/xsim"
+)
+
+// macLoopSPAM is a raw step-rate workload: 1<<p iterations of a single
+// VLIW mac/djnz instruction, so backend overhead per simulated instruction
+// dominates the measurement.
+func macLoopSPAM(p int) string {
+	return fmt.Sprintf(`
+    mvi R6, #1
+    shl R6, R6, #%d
+    clr
+loop:
+    mac R2, R3 || BR.djnz R6, loop
+    halt
+`, p)
+}
+
+// BenchmarkXsim_Backends measures simulated-MIPS of the three backends on
+// the SPAM DSP kernels (satellite experiment of docs/GENSIM.md; results in
+// EXPERIMENTS.md). Each iteration loads and runs the whole program; the
+// reported MIPS metric is cumulative simulated instructions over wall time,
+// so for the aot backend it includes the subprocess round trip (build cost
+// is paid once outside the timed region).
+func BenchmarkXsim_Backends(b *testing.B) {
+	d := machines.SPAM()
+	s, c := machines.FIRTestVectors(16, 64)
+	x, y := machines.VecTestVectors(120)
+	kernels := []struct{ name, src string }{
+		{"fir", machines.FIRSPAM(16, 64, s, c)},
+		{"dot", machines.DotSPAM(120, x, y)},
+		{"macloop", macLoopSPAM(15)},
+	}
+	for _, backend := range xsim.Backends() {
+		for _, k := range kernels {
+			b.Run(string(backend)+"/"+k.name, func(b *testing.B) {
+				prog, err := asm.Assemble(d, k.src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, info, err := xsim.NewEngine(d, backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				if info.Used != backend {
+					b.Skipf("%s backend unavailable: %s", backend, info.FallbackReason)
+				}
+				pb := eng.Perf()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.Load(prog); err != nil {
+						b.Fatal(err)
+					}
+					if err := eng.Run(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				pa := eng.Perf()
+				insts := pa.Instructions - pb.Instructions
+				if insts == 0 {
+					b.Fatal("no instructions simulated")
+				}
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(insts)/sec/1e6, "MIPS")
+				}
+				// Core speed: the engine's own accounting of time inside the
+				// simulation loop — for aot this excludes the per-request
+				// subprocess round trip, isolating the generated core.
+				if coreSec := pa.RunSeconds - pb.RunSeconds; coreSec > 0 {
+					b.ReportMetric(float64(insts)/coreSec/1e6, "coreMIPS")
+				}
+				b.ReportMetric(float64(insts)/float64(b.N), "instrs/op")
+			})
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package gensim_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bitvec"
+	"repro/internal/gensim"
+	"repro/internal/isdl"
+	"repro/internal/machines"
+	"repro/internal/randmachine"
+	"repro/internal/xsim"
+)
+
+// TestMain points the build cache at a shared scratch dir so test runs
+// don't pollute the user cache but still reuse binaries across tests.
+func TestMain(m *testing.M) {
+	if os.Getenv("REPRO_GENSIM_CACHE") == "" {
+		dir, err := os.MkdirTemp("", "gensim-test-cache-*")
+		if err == nil {
+			os.Setenv("REPRO_GENSIM_CACHE", dir)
+			defer os.RemoveAll(dir)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+func mustAOT(t *testing.T, d *isdl.Description) *gensim.Engine {
+	t.Helper()
+	eng, err := gensim.NewEngineFor(d)
+	if err != nil {
+		t.Fatalf("aot engine: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// runAll loads and runs the same program on the aot engine, the compiled
+// closure core and the AST interpreter, then checks final storage state,
+// statistics, cycle count and fault text are identical across all three.
+func runAll(t *testing.T, d *isdl.Description, p *asm.Program, limit int64) {
+	t.Helper()
+	engines := map[string]xsim.Engine{}
+	aot := mustAOT(t, d)
+	engines["aot"] = aot
+	compiled := xsim.New(d)
+	engines["compiled"] = compiled
+	interp := xsim.New(d)
+	interp.CompiledCore = false
+	engines["interp"] = interp
+
+	errs := map[string]error{}
+	for name, e := range engines {
+		if err := e.Load(p); err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		errs[name] = e.Run(limit)
+	}
+	for _, name := range []string{"compiled", "interp"} {
+		if (errs[name] == nil) != (errs["aot"] == nil) {
+			t.Fatalf("run error mismatch: aot=%v %s=%v", errs["aot"], name, errs[name])
+		}
+		if errs["aot"] != nil && errs["aot"].Error() != errs[name].Error() {
+			t.Fatalf("fault text mismatch:\naot: %s\n%s:  %s", errs["aot"], name, errs[name])
+		}
+		if engines[name].Halted() != aot.Halted() {
+			t.Fatalf("halted mismatch: aot=%v %s=%v", aot.Halted(), name, engines[name].Halted())
+		}
+		if engines[name].Cycle() != aot.Cycle() {
+			t.Fatalf("cycle mismatch: aot=%d %s=%d", aot.Cycle(), name, engines[name].Cycle())
+		}
+		compareStats(t, name, engines[name].Stats(), aot.Stats())
+		compareSnapshots(t, name, engines[name].Snapshot(), aot.Snapshot())
+	}
+}
+
+func compareStats(t *testing.T, name string, want, got *xsim.Stats) {
+	t.Helper()
+	if want.Cycles != got.Cycles || want.Instructions != got.Instructions ||
+		want.DataStalls != got.DataStalls || want.StructStalls != got.StructStalls ||
+		want.Reads != got.Reads || want.Writes != got.Writes {
+		t.Fatalf("stats mismatch vs %s:\nwant %+v\ngot  %+v", name, *want, *got)
+	}
+	if len(want.OpCounts) != len(got.OpCounts) {
+		t.Fatalf("op count keys mismatch vs %s: want %v got %v", name, want.OpCounts, got.OpCounts)
+	}
+	for k, v := range want.OpCounts {
+		if got.OpCounts[k] != v {
+			t.Fatalf("op count %s mismatch vs %s: want %d got %d", k, name, v, got.OpCounts[k])
+		}
+	}
+	if len(want.FieldIssue) != len(got.FieldIssue) {
+		t.Fatalf("field issue length mismatch vs %s", name)
+	}
+	for i, v := range want.FieldIssue {
+		if got.FieldIssue[i] != v {
+			t.Fatalf("field %d issue mismatch vs %s: want %d got %d", i, name, v, got.FieldIssue[i])
+		}
+	}
+}
+
+func compareSnapshots(t *testing.T, name string, want, got map[string][]bitvec.Value) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("snapshot storage sets differ vs %s: want %d got %d", name, len(want), len(got))
+	}
+	for st, wv := range want {
+		gv, ok := got[st]
+		if !ok {
+			t.Fatalf("snapshot missing storage %s (vs %s)", st, name)
+		}
+		if len(wv) != len(gv) {
+			t.Fatalf("snapshot %s depth mismatch vs %s: want %d got %d", st, name, len(wv), len(gv))
+		}
+		for i := range wv {
+			if !wv[i].Eq(gv[i]) {
+				t.Fatalf("snapshot %s[%d] mismatch vs %s: want %s got %s", st, i, name, wv[i], gv[i])
+			}
+		}
+	}
+}
+
+func TestAOTEquivalenceToy(t *testing.T) {
+	d := machines.Toy()
+	for name, src := range map[string]string{
+		"arith": `
+    mv R1, #5
+    mv R2, #3
+    add R3, R1, R2
+    sub R4, R1, #7
+    and R5, R3, #12
+    mul R6, R2, #10
+    halt`,
+		"memory": `
+    mv R1, #42
+    mv R3, #7
+    st @R3, R1
+    ld R2, @R3
+    add R4, R2, #1
+    halt`,
+		"control": `
+    mv R1, #0
+    mv R2, #5
+loop:
+    add R1, R1, #1
+    sub R2, R2, #1
+    beq R2, R0, done
+    jmp loop
+done:
+    halt`,
+		"stack": `
+    mv R1, #9
+    push R1
+    call fn
+    pop R3
+    halt
+fn:
+    pop R2
+    push R2
+    mv R3, #9
+    ret`,
+		"mmio": `
+    mv R1, #7
+    out 241, R1
+    halt`,
+		"stall": `
+    mv R1, #4
+    mul R2, R1, #3
+    add R3, R2, #1
+    mv R6, #0
+    ld R4, @R6
+    add R5, R4, R3
+    halt`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			p, err := asm.Assemble(d, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAll(t, d, p, 100000)
+		})
+	}
+}
+
+func TestAOTEquivalenceToyFaults(t *testing.T) {
+	d := machines.Toy()
+	for name, src := range map[string]string{
+		"stack overflow":  "loop:\n push R0\n jmp loop",
+		"stack underflow": "pop R1\n halt",
+		"illegal":         ".word 0xe00000",
+	} {
+		t.Run(name, func(t *testing.T) {
+			p, err := asm.Assemble(d, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAll(t, d, p, 1000)
+		})
+	}
+}
+
+// TestAOTEquivalenceSPAM runs the paper's kernels on both SPAM variants:
+// 96-bit instruction words exercise the multi-word image fetch path.
+func TestAOTEquivalenceSPAM(t *testing.T) {
+	spam := machines.SPAM()
+	spam2 := machines.SPAM2()
+	s, c := machines.FIRTestVectors(8, 8)
+	x, y := machines.VecTestVectors(8)
+	for _, tc := range []struct {
+		name string
+		d    *isdl.Description
+		src  string
+	}{
+		{"fir", spam, machines.FIRSPAM(8, 8, s, c)},
+		{"dot", spam, machines.DotSPAM(8, x, y)},
+		{"vecadd", spam2, machines.VecAddSPAM2(8, x, y)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Assemble(tc.d, tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAll(t, tc.d, p, 1000000)
+		})
+	}
+}
+
+// TestAOTDifferentialRandom is the gauntlet: random machines x random
+// programs, aot vs compiled closure core vs AST interpreter, bit-identical
+// state and statistics under fixed seeds.
+func TestAOTDifferentialRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential gauntlet is slow")
+	}
+	rnd := rand.New(rand.NewSource(7))
+	trials := 6
+	for trial := 0; trial < trials; trial++ {
+		m := randmachine.Generate(rnd, randmachine.Config{})
+		d, err := isdl.Parse(m.Source)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for prog := 0; prog < 3; prog++ {
+			src := m.RandomProgram(rnd, 24)
+			p, err := asm.Assemble(d, src)
+			if err != nil {
+				t.Fatalf("trial %d prog %d: %v", trial, prog, err)
+			}
+			t.Run(fmt.Sprintf("m%d_p%d", trial, prog), func(t *testing.T) {
+				runAll(t, d, p, 2000)
+			})
+		}
+	}
+}
+
+// TestAOTRunContinuation checks the replay-based Run(limit) continuation:
+// stepping in chunks lands on the same state as one long run.
+func TestAOTRunContinuation(t *testing.T) {
+	d := machines.Toy()
+	src := `
+    mv R1, #0
+loop:
+    add R1, R1, #1
+    sub R2, R1, #10
+    beq R2, R0, done
+    jmp loop
+done:
+    halt`
+	p, err := asm.Assemble(d, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aot := mustAOT(t, d)
+	if err := aot.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	ref := xsim.New(d)
+	if err := ref.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	for !aot.Halted() {
+		if err := aot.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		if aot.Cycle() != ref.Cycle() {
+			t.Fatalf("cycle diverged mid-run: aot=%d ref=%d", aot.Cycle(), ref.Cycle())
+		}
+	}
+	if !ref.Halted() {
+		t.Fatal("reference did not halt in lockstep")
+	}
+	compareStats(t, "compiled", ref.Stats(), aot.Stats())
+}
+
+// TestFallbackWhenDisabled: with the backend disabled the engine ladder
+// degrades to the compiled core and reports why.
+func TestFallbackWhenDisabled(t *testing.T) {
+	t.Setenv("REPRO_GENSIM_DISABLE", "1")
+	if _, err := gensim.Build(machines.Toy()); !errors.Is(err, gensim.ErrUnavailable) {
+		t.Fatalf("Build = %v, want ErrUnavailable", err)
+	}
+	eng, info, err := xsim.NewEngine(machines.Toy(), xsim.BackendAOT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if info.Used != xsim.BackendCompiled {
+		t.Fatalf("Used = %s, want compiled fallback", info.Used)
+	}
+	if info.FallbackReason == "" {
+		t.Fatal("fallback reason empty")
+	}
+	if _, ok := eng.(*xsim.Simulator); !ok {
+		t.Fatalf("fallback engine is %T, want *xsim.Simulator", eng)
+	}
+}
+
+// TestUnsupportedDescriptionFallsBack: RTL over a >64-bit storage is
+// outside the compilable subset — generation refuses, NewEngine falls back.
+func TestUnsupportedDescriptionFallsBack(t *testing.T) {
+	src := `
+Machine wide;
+Format 8;
+Section Global_Definitions
+Section Storage
+InstructionMemory IMEM width 8 depth 32;
+Register ACC width 96;
+ControlRegister HLT width 1;
+ProgramCounter PC width 5;
+Section Instruction_Set
+Field F:
+  op inc
+    Encode { I[7:4] = 0x1; }
+    Action { ACC <- ACC + 1; }
+  op halt
+    Encode { I[7:4] = 0x2; }
+    Action { HLT <- 0b1; }
+`
+	d, err := isdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, genErr := gensim.Generate(d)
+	if !gensim.IsUnsupported(genErr) {
+		t.Fatalf("Generate = %v, want UnsupportedError", genErr)
+	}
+	eng, info, err := xsim.NewEngine(d, xsim.BackendAOT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if info.Used != xsim.BackendCompiled || info.FallbackReason == "" {
+		t.Fatalf("info = %+v, want compiled fallback with reason", info)
+	}
+}
+
+// TestBuildCache: the second build of the same description is a cache hit
+// serving the same binary.
+func TestBuildCache(t *testing.T) {
+	t.Setenv("REPRO_GENSIM_CACHE", t.TempDir())
+	d := machines.Toy()
+	br1, err := gensim.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br1.CacheHit {
+		t.Fatal("first build reported a cache hit")
+	}
+	br2, err := gensim.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br2.CacheHit {
+		t.Fatal("second build missed the cache")
+	}
+	if br1.Bin != br2.Bin {
+		t.Fatalf("cache returned a different binary: %s vs %s", br1.Bin, br2.Bin)
+	}
+	if _, err := os.Stat(filepath.Join(br1.Dir, "main.go")); err != nil {
+		t.Fatalf("cache entry is missing the generated source: %v", err)
+	}
+}
+
+// TestFingerprintSensitivity: different descriptions get different cache
+// keys; identical descriptions share one.
+func TestFingerprintSensitivity(t *testing.T) {
+	a := gensim.Fingerprint(machines.Toy())
+	b := gensim.Fingerprint(machines.Toy())
+	c := gensim.Fingerprint(machines.SPAM())
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct machines share a fingerprint")
+	}
+}

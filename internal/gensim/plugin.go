@@ -1,0 +1,63 @@
+package gensim
+
+import (
+	"os"
+	"path/filepath"
+	"plugin"
+)
+
+// Plugin fast path: with REPRO_GENSIM_PLUGIN=1 the generated simulator is
+// additionally built as a Go plugin and its Serve function called
+// in-process, skipping the subprocess round trip. Plugins need cgo and a C
+// toolchain and cannot be unloaded, so this stays opt-in; every failure
+// falls back silently to the subprocess.
+
+// loadPlugin tries to build and open the plugin for a completed build.
+// Returns nil (fall back to subprocess) on any failure.
+func loadPlugin(br *BuildResult) func([]byte) []byte {
+	if os.Getenv("REPRO_GENSIM_PLUGIN") != "1" {
+		return nil
+	}
+	so := filepath.Join(br.Dir, "sim.so")
+	if _, err := os.Stat(so); err != nil {
+		gobin, err := goTool()
+		if err != nil {
+			return nil
+		}
+		// Rebuild the module source in a scratch dir (the cache keeps only
+		// the binary) and compile with -buildmode=plugin.
+		tmp, err := os.MkdirTemp(br.Dir, "plugin-*")
+		if err != nil {
+			return nil
+		}
+		defer os.RemoveAll(tmp)
+		src, err := os.ReadFile(filepath.Join(br.Dir, "main.go"))
+		if err != nil {
+			return nil
+		}
+		if err := writeModule(tmp, string(src)); err != nil {
+			return nil
+		}
+		if _, err := runGoBuild(gobin, tmp, filepath.Join(tmp, "sim.so"), "plugin"); err != nil {
+			return nil
+		}
+		if err := os.Rename(filepath.Join(tmp, "sim.so"), so); err != nil {
+			if _, statErr := os.Stat(so); statErr != nil {
+				return nil
+			}
+		}
+	}
+	p, err := plugin.Open(so)
+	if err != nil {
+		return nil
+	}
+	sym, err := p.Lookup("Serve")
+	if err != nil {
+		return nil
+	}
+	serve, ok := sym.(func([]byte) []byte)
+	if !ok {
+		return nil
+	}
+	return serve
+}

@@ -1,0 +1,138 @@
+package xsim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/bitvec"
+	"repro/internal/isdl"
+)
+
+// This file defines the simulator backend ladder of ROADMAP item 3. Three
+// backends produce bit-identical architectural results at different speeds:
+//
+//	interp    the AST interpreter (eval.go) — the reference semantics
+//	compiled  the closure-compiled core (compile.go) — the default
+//	aot       ahead-of-time generated Go, natively compiled per description
+//	          (internal/gensim) — the analogue of the paper's generated,
+//	          natively compiled C simulators (§3.3, §6.2)
+//
+// The aot backend needs a Go toolchain at runtime; NewEngine degrades down
+// the ladder (aot → compiled) instead of failing, reporting the reason, so
+// every caller keeps working on toolchain-less hosts.
+
+// Backend names one simulator execution strategy.
+type Backend string
+
+const (
+	// BackendInterp runs the AST interpreter core.
+	BackendInterp Backend = "interp"
+	// BackendCompiled runs the closure-compiled core (the default).
+	BackendCompiled Backend = "compiled"
+	// BackendAOT generates, builds and runs specialized Go for the
+	// description (internal/gensim), falling back to compiled when no
+	// toolchain is available.
+	BackendAOT Backend = "aot"
+)
+
+// Backends lists the selectable backends in ladder order.
+func Backends() []Backend { return []Backend{BackendInterp, BackendCompiled, BackendAOT} }
+
+// ParseBackend validates a backend name; the empty string selects the
+// default (compiled).
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return BackendCompiled, nil
+	case BackendInterp, BackendCompiled, BackendAOT:
+		return Backend(s), nil
+	}
+	return "", fmt.Errorf("xsim: unknown backend %q (want interp, compiled or aot)", s)
+}
+
+// Engine is the backend-independent view of one simulator instance: load a
+// program, run it, observe the architectural results. All backends are
+// bit-identical in Stats, Cycle and Snapshot for the same program (the
+// differential gauntlet in internal/gensim enforces it).
+type Engine interface {
+	// Load loads an assembled program and resets architectural state.
+	Load(p *asm.Program) error
+	// Run executes until halt or limit instructions (limit <= 0: no limit).
+	Run(limit int64) error
+	// Halted reports whether the machine stopped (halt storage or fault).
+	Halted() bool
+	// Err returns the fault that halted the machine, if any.
+	Err() error
+	// Cycle returns the current cycle count.
+	Cycle() uint64
+	// Stats returns the architectural statistics gathered so far.
+	Stats() *Stats
+	// Perf returns the simulator's own performance counters.
+	Perf() PerfReport
+	// Snapshot captures every storage element (for co-simulation checks).
+	Snapshot() map[string][]bitvec.Value
+	// Description returns the machine description the engine simulates.
+	Description() *isdl.Description
+	// Close releases backend resources (subprocesses for aot); the engine
+	// is unusable afterwards.
+	Close() error
+}
+
+// Snapshot captures every storage element of the simulator's state; it is
+// the Engine form of State().Snapshot().
+func (sim *Simulator) Snapshot() map[string][]bitvec.Value { return sim.st.Snapshot() }
+
+// Close releases the simulator (a no-op for the in-process cores).
+func (sim *Simulator) Close() error { return nil }
+
+var _ Engine = (*Simulator)(nil)
+
+// aotFactory builds an aot engine; it is registered by internal/gensim's
+// init so that xsim never imports the generator (no import cycle).
+var aotFactory func(d *isdl.Description) (Engine, error)
+
+// RegisterAOT installs the aot engine constructor. Called from
+// internal/gensim; last registration wins.
+func RegisterAOT(f func(d *isdl.Description) (Engine, error)) { aotFactory = f }
+
+// EngineInfo reports which backend a NewEngine call actually produced.
+type EngineInfo struct {
+	Requested Backend
+	Used      Backend
+	// FallbackReason is non-empty when Used != Requested.
+	FallbackReason string
+}
+
+// NewEngine builds a simulation engine for the requested backend, walking
+// down the ladder (aot → compiled) when the request cannot be satisfied:
+// no gensim registered, no Go toolchain, or a description the generator
+// does not support. The returned error is non-nil only for an invalid
+// backend name — fallback is not an error.
+func NewEngine(d *isdl.Description, b Backend) (Engine, EngineInfo, error) {
+	if b == "" {
+		b = BackendCompiled
+	}
+	info := EngineInfo{Requested: b, Used: b}
+	switch b {
+	case BackendInterp:
+		sim := New(d)
+		sim.CompiledCore = false
+		return sim, info, nil
+	case BackendCompiled:
+		return New(d), info, nil
+	case BackendAOT:
+		if aotFactory == nil {
+			info.Used = BackendCompiled
+			info.FallbackReason = "aot backend not linked in (import repro/internal/gensim)"
+			return New(d), info, nil
+		}
+		eng, err := aotFactory(d)
+		if err != nil {
+			info.Used = BackendCompiled
+			info.FallbackReason = err.Error()
+			return New(d), info, nil
+		}
+		return eng, info, nil
+	}
+	return nil, info, fmt.Errorf("xsim: unknown backend %q", b)
+}

@@ -2,6 +2,7 @@ package xsim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/obs"
@@ -59,13 +60,32 @@ func (sim *Simulator) Perf() PerfReport {
 		DecodeMisses: sim.perf.decodeMisses,
 		OpsReused:    sim.perf.opReused,
 		OpsCompiled:  sim.perf.opCompiled,
-		RunSeconds:   float64(sim.perf.runNs) / 1e9,
 	}
-	if p.RunSeconds > 0 {
-		p.MIPS = float64(p.Instructions) / p.RunSeconds / 1e6
-		p.SimCyclesPerSec = float64(p.Cycles) / p.RunSeconds
-	}
+	p.DeriveRates(sim.perf.runNs)
 	return p
+}
+
+// DeriveRates fills RunSeconds, MIPS and SimCyclesPerSec from a wall-clock
+// duration in integer nanoseconds. A non-positive duration (a Run too short
+// for the clock to advance, or a clock stepping backwards) leaves the rates
+// at zero, and any non-finite result of the division is clamped to zero —
+// the report must marshal as JSON, which rejects +Inf/NaN. All backends
+// (and the gensim subprocess report) share this derivation.
+func (p *PerfReport) DeriveRates(runNs int64) {
+	if runNs <= 0 {
+		p.RunSeconds, p.MIPS, p.SimCyclesPerSec = 0, 0, 0
+		return
+	}
+	p.RunSeconds = float64(runNs) / 1e9
+	p.MIPS = finiteOrZero(float64(p.Instructions) / p.RunSeconds / 1e6)
+	p.SimCyclesPerSec = finiteOrZero(float64(p.Cycles) / p.RunSeconds)
+}
+
+func finiteOrZero(f float64) float64 {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0
+	}
+	return f
 }
 
 // DecodeHitRate is the fraction of fetches served by the decode cache.

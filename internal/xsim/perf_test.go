@@ -1,8 +1,11 @@
 package xsim_test
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/machines"
@@ -91,6 +94,74 @@ func TestPerfSurvivesReset(t *testing.T) {
 	}
 	if second.RunSeconds <= first.RunSeconds {
 		t.Error("run seconds did not accumulate across Reset")
+	}
+}
+
+// TestPerfRatesNearZeroClock injects clocks whose Run deltas are zero or
+// negative: the derived rates must stay zero (never ±Inf or NaN) and the
+// report must still marshal as JSON — the regression that motivated
+// DeriveRates was a frozen clock turning MIPS into +Inf and poisoning the
+// metrics export.
+func TestPerfRatesNearZeroClock(t *testing.T) {
+	frozen := time.Unix(1_700_000_000, 0)
+	clocks := map[string]func() time.Time{
+		"frozen": func() time.Time { return frozen },
+		"backwards": func() func() time.Time {
+			step := 0
+			return func() time.Time {
+				step++
+				return frozen.Add(-time.Duration(step) * time.Second)
+			}
+		}(),
+	}
+	for name, clock := range clocks {
+		t.Run(name, func(t *testing.T) {
+			d := machines.Toy()
+			prog, err := asm.Assemble(d, perfLoop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := xsim.New(d)
+			sim.SetClock(clock)
+			if err := sim.Load(prog); err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Run(100000); err != nil {
+				t.Fatal(err)
+			}
+			p := sim.Perf()
+			if p.Instructions == 0 {
+				t.Fatal("no instructions recorded — test is vacuous")
+			}
+			if p.RunSeconds != 0 || p.MIPS != 0 || p.SimCyclesPerSec != 0 {
+				t.Errorf("rates with %s clock = (%v s, %v MIPS, %v cycles/s), want all zero",
+					name, p.RunSeconds, p.MIPS, p.SimCyclesPerSec)
+			}
+			blob, err := json.Marshal(p)
+			if err != nil {
+				t.Fatalf("perf report does not marshal: %v", err)
+			}
+			var back xsim.PerfReport
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatalf("perf report does not round-trip: %v", err)
+			}
+		})
+	}
+}
+
+// TestDeriveRatesClamps covers the derivation directly: non-positive
+// durations zero the rates, and non-finite divisions clamp to zero.
+func TestDeriveRatesClamps(t *testing.T) {
+	p := xsim.PerfReport{Instructions: 10, Cycles: 20}
+	for _, ns := range []int64{0, -1, math.MinInt64} {
+		p.DeriveRates(ns)
+		if p.RunSeconds != 0 || p.MIPS != 0 || p.SimCyclesPerSec != 0 {
+			t.Errorf("DeriveRates(%d) = (%v, %v, %v), want zeros", ns, p.RunSeconds, p.MIPS, p.SimCyclesPerSec)
+		}
+	}
+	p.DeriveRates(1) // one nanosecond: huge but finite rates
+	if math.IsInf(p.MIPS, 0) || math.IsNaN(p.MIPS) || math.IsInf(p.SimCyclesPerSec, 0) {
+		t.Errorf("DeriveRates(1) produced non-finite rates: %v MIPS, %v cycles/s", p.MIPS, p.SimCyclesPerSec)
 	}
 }
 

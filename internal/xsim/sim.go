@@ -176,6 +176,10 @@ type Simulator struct {
 	// survives Reset.
 	perf perfCounters
 
+	// clock overrides time.Now for Run's wall-clock accounting; tests
+	// inject deterministic clocks to pin down the perf derivation.
+	clock func() time.Time
+
 	// StallModel enables the latency/usage interlock (§3.3.3); disabling
 	// it is ablation C.
 	StallModel bool
@@ -289,6 +293,11 @@ func (sim *Simulator) SetHaltStorage(name string) error {
 	sim.haltName = name
 	return nil
 }
+
+// SetClock overrides the wall clock used by Run's perf accounting; nil
+// restores time.Now. Tests inject frozen or stepped clocks to exercise the
+// near-zero-RunSeconds guards of the perf derivation.
+func (sim *Simulator) SetClock(now func() time.Time) { sim.clock = now }
 
 // SetTrace directs the execution address trace (§3.1) to w; nil disables it.
 func (sim *Simulator) SetTrace(w io.Writer) { sim.trace = w }
@@ -709,10 +718,14 @@ func (sim *Simulator) FlushPending() {
 func (sim *Simulator) Run(limit int64) error {
 	// Perf accounting (perf.go): wall clock plus the architectural deltas
 	// of this Run, measured once per call so the step loop stays clean.
-	start := time.Now()
+	now := time.Now
+	if sim.clock != nil {
+		now = sim.clock
+	}
+	start := now()
 	i0, c0, d0, s0 := sim.stats.Instructions, sim.cycle, sim.stats.DataStalls, sim.stats.StructStalls
 	defer func() {
-		sim.perf.runNs += time.Since(start).Nanoseconds()
+		sim.perf.runNs += now().Sub(start).Nanoseconds()
 		sim.perf.instructions += sim.stats.Instructions - i0
 		sim.perf.cycles += sim.cycle - c0
 		sim.perf.dataStalls += sim.stats.DataStalls - d0
