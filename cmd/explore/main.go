@@ -9,7 +9,8 @@
 //	explore -m spam2 -k kernel.k [-strategy hill|beam] [-beam 4]
 //	        [-restarts n] [-seed s] [-iters 8] [-workers n]
 //	        [-sim-backend interp|compiled|aot]
-//	        [-no-cache] [-cache-file c.json] [-o best.isdl]
+//	        [-no-cache] [-cache-file c.json]
+//	        [-store dir:PATH|http://HOST] [-o best.isdl]
 //
 // Strategies (-strategy, docs/EXPLORE.md):
 //
@@ -28,9 +29,18 @@
 // iterations and restarts (see docs/PIPELINE.md); for every strategy the
 // result is bit-identical to a sequential, uncached run. -cache-file
 // persists the serializable stages (compile, simulate, synthesize) across
-// invocations: the file is loaded if it exists and rewritten on success,
-// so a repeated exploration starts with compilation and synthesis fully
-// warm.
+// invocations: the file is loaded if it exists (a missing file is a
+// normal first run; a corrupt one is a hard error) and rewritten on
+// success, so a repeated exploration starts with compilation and
+// synthesis fully warm.
+//
+// -store attaches a shared artifact store (docs/PIPELINE.md,
+// docs/SERVICE.md): dir:PATH is a directory any number of concurrent
+// processes may share, http://HOST is a cmd/served daemon. Every
+// serializable stage artifact — including whole evaluations and aot
+// simulator binaries — is read from and written through to the store, so
+// two explorers on different machines never evaluate the same
+// architecture twice.
 //
 // The run is instrumented end to end (docs/OBSERVABILITY.md): -trace-out
 // writes a Chrome trace_event file (open in chrome://tracing or
@@ -39,15 +49,16 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro"
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/gensim"
 	"repro/internal/obs"
 	"repro/internal/xsim"
 )
@@ -64,6 +75,7 @@ func main() {
 	simBackend := flag.String("sim-backend", "", "simulator backend for evaluations: interp, compiled (default) or aot (docs/GENSIM.md)")
 	noCache := flag.Bool("no-cache", false, "disable evaluation memoization across iterations")
 	cacheFile := flag.String("cache-file", "", "persist the stage cache here across runs (loaded if present, saved on success)")
+	storeSpec := flag.String("store", "", "shared artifact store: dir:PATH or http://HOST (cmd/served); see docs/SERVICE.md")
 	out := flag.String("o", "", "write the winning ISDL description here")
 	wRun := flag.Float64("w-runtime", 1, "objective weight: run time (us)")
 	wArea := flag.Float64("w-area", 0.5, "objective weight: area (10k grid cells)")
@@ -89,12 +101,25 @@ func main() {
 	if !*noCache {
 		cache = core.NewEvalCache()
 		if *cacheFile != "" {
-			if err := cache.Stages().LoadFile(*cacheFile); err == nil {
+			if loaded, err := cache.Stages().LoadFileIfExists(*cacheFile); err != nil {
+				fatal(err) // corrupt/unreadable: never silently start cold
+			} else if loaded {
 				fmt.Printf("loaded stage cache %s (%d artifacts)\n", *cacheFile, cache.Stages().Len())
-			} else if !errors.Is(err, os.ErrNotExist) {
-				fatal(err)
+			} else {
+				fmt.Printf("no stage cache at %s yet; starting empty\n", *cacheFile)
 			}
 		}
+		if *storeSpec != "" {
+			st, err := blob.Open(*storeSpec)
+			if err != nil {
+				fatal(err)
+			}
+			cache.Stages().SetStore(st)
+			gensim.SetStore(st) // share built aot simulator binaries too
+			fmt.Printf("sharing artifacts via %s\n", *storeSpec)
+		}
+	} else if *storeSpec != "" {
+		fatal(fmt.Errorf("-store requires caching; drop -no-cache"))
 	}
 
 	sb, err := xsim.ParseBackend(*simBackend)
@@ -159,6 +184,10 @@ func main() {
 		opHits, opMisses := xsim.SharedOpCache().Stats()
 		fmt.Printf("stage cache: %s\n", cache.Stages().StatsLine())
 		fmt.Printf("op-closure cache: %d reused / %d compiled\n", opHits, opMisses)
+		if *storeSpec != "" {
+			sh, sm, se := cache.Stages().StoreStats()
+			fmt.Printf("blob store: %d served / %d absent / %d errors\n", sh, sm, se)
+		}
 		if *cacheFile != "" {
 			if err := cache.Stages().SaveFile(*cacheFile); err != nil {
 				fatal(err)

@@ -1,0 +1,390 @@
+package main
+
+// The exploration service: a bounded job queue running core.Pipeline
+// evaluations against the shared artifact store, behind three JSON
+// endpoints (submit/status/result), the blob tree remote explorers
+// mount as their -store, and health/metrics probes. docs/SERVICE.md is
+// the contract; server_test.go pins the queue and drain semantics.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/xsim"
+)
+
+// jobRequest is one evaluation submission: a description (builtin
+// machine name or raw ISDL source, exactly one) plus the kernel to
+// compile, assemble, simulate and synthesize it against.
+type jobRequest struct {
+	Machine  string `json:"machine,omitempty"` // builtin: toy, spam, spam2, risc32
+	ISDL     string `json:"isdl,omitempty"`    // raw description source
+	Kernel   string `json:"kernel"`
+	Workload string `json:"workload,omitempty"` // label in reports; default "kernel"
+}
+
+// jobStatus is a job's lifecycle state. "retry" is terminal but
+// retryable: the job was rejected before running (queue drained at
+// shutdown) and an identical resubmission is safe and cheap — whatever
+// partial work happened is in the shared store.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+	statusRetry   jobStatus = "retry"
+)
+
+// job is one queued or completed evaluation.
+type job struct {
+	id  string
+	req jobRequest
+	src string // resolved ISDL source
+
+	mu        sync.Mutex
+	status    jobStatus
+	errMsg    string
+	eval      *core.Evaluation
+	cached    bool
+	submitted time.Time
+}
+
+func (j *job) set(st jobStatus, errMsg string) {
+	j.mu.Lock()
+	j.status, j.errMsg = st, errMsg
+	j.mu.Unlock()
+}
+
+// statusJSON is the wire form of a job's state (status and result
+// endpoints, and submit rejections, which carry no id).
+type statusJSON struct {
+	ID        string           `json:"id,omitempty"`
+	Status    jobStatus        `json:"status"`
+	Error     string           `json:"error,omitempty"`
+	Cached    bool             `json:"cached,omitempty"`
+	Retryable bool             `json:"retryable,omitempty"`
+	Eval      *core.Evaluation `json:"evaluation,omitempty"`
+}
+
+func (j *job) statusJSON(withEval bool) statusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := statusJSON{ID: j.id, Status: j.status, Error: j.errMsg,
+		Cached: j.cached, Retryable: j.status == statusRetry}
+	if withEval {
+		out.Eval = j.eval
+	}
+	return out
+}
+
+// server owns the queue, the workers, the shared store and the pipeline.
+type server struct {
+	reg   *obs.Registry
+	store blob.Store
+	cache *core.StageCache
+	pipe  *core.Pipeline
+
+	// evalFn runs one job's evaluation; tests stub it. The bool is the
+	// served-from-cache verdict.
+	evalFn func(*job) (*core.Evaluation, bool, error)
+
+	workers int
+	queue   chan *job
+	qmu     sync.RWMutex // guards draining + queue close against submits
+	drainng bool
+	closed  bool
+	wg      sync.WaitGroup
+
+	jobs   sync.Map // id -> *job
+	nextID atomic.Uint64
+	mux    *http.ServeMux
+}
+
+// newServer wires a server over a store. workers is the evaluation
+// concurrency, queueCap the pending-job bound; simBackend optionally
+// overrides the evaluator's simulator backend ("" = default).
+func newServer(st blob.Store, reg *obs.Registry, workers, queueCap int, simBackend string) (*server, error) {
+	if workers <= 0 || queueCap <= 0 {
+		return nil, fmt.Errorf("served: workers (%d) and queue capacity (%d) must be positive", workers, queueCap)
+	}
+	ev := core.NewEvaluator()
+	if simBackend != "" {
+		sb, err := xsim.ParseBackend(simBackend)
+		if err != nil {
+			return nil, err
+		}
+		ev.SimBackend = sb
+	}
+	cache := core.NewStageCache()
+	cache.Bind(reg)
+	cache.SetStore(st)
+	s := &server{
+		reg:     reg,
+		store:   st,
+		cache:   cache,
+		pipe:    &core.Pipeline{Evaluator: ev, Cache: cache, Obs: reg},
+		workers: workers,
+		queue:   make(chan *job, queueCap),
+		mux:     http.NewServeMux(),
+	}
+	s.evalFn = s.evaluate
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.Handle("/v1/blobs/", blob.Handler(st))
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// start launches the evaluation workers.
+func (s *server) start() {
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *server) handler() http.Handler { return s.mux }
+
+// beginDrain stops accepting work: new submits get a retryable 503 while
+// status/result/blob reads keep serving. Call closeAndWait afterwards.
+func (s *server) beginDrain() {
+	s.qmu.Lock()
+	s.drainng = true
+	s.qmu.Unlock()
+}
+
+// closeAndWait closes the queue and waits for the workers: in-flight
+// evaluations drain to completion, still-queued jobs are marked retry.
+func (s *server) closeAndWait() {
+	s.qmu.Lock()
+	if !s.closed {
+		s.drainng = true // closing implies draining; guard the submit path
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *server) isDraining() bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return s.drainng
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.reg.Gauge("served.queue.depth").Set(int64(len(s.queue)))
+		if s.isDraining() {
+			// Queued but never started: reject retryably rather than
+			// stretch the shutdown by a whole evaluation.
+			j.set(statusRetry, "server draining; resubmit")
+			s.reg.Counter("served.jobs.retried").Inc()
+			continue
+		}
+		s.run(j)
+	}
+}
+
+// run executes one job under a span, with the wait and run times in
+// histograms and the outcome in counters.
+func (s *server) run(j *job) {
+	sp := s.reg.StartSpan("job")
+	sp.SetArg("id", j.id)
+	s.reg.Histogram("served.job.wait.ns").Observe(time.Since(j.submitted))
+	s.reg.Gauge("served.jobs.running").Add(1)
+	j.set(statusRunning, "")
+	start := time.Now()
+	eval, cached, err := s.evalFn(j)
+	s.reg.Histogram("served.job.run.ns").Observe(time.Since(start))
+	s.reg.Gauge("served.jobs.running").Add(-1)
+	if err != nil {
+		j.set(statusFailed, err.Error())
+		s.reg.Counter("served.jobs.failed").Inc()
+		sp.SetArg("err", err.Error())
+	} else {
+		// The live hardware model is not wire-representable (it holds the
+		// cyclic ISDL AST) and is dropped from results, exactly as the
+		// persisted combine artifact drops it (internal/core/persist.go).
+		wire := *eval
+		wire.Hardware = nil
+		j.mu.Lock()
+		j.status, j.eval, j.cached = statusDone, &wire, cached
+		j.mu.Unlock()
+		s.reg.Counter("served.jobs.done").Inc()
+		if cached {
+			sp.SetArg("cache", "hit")
+		}
+	}
+	sp.End()
+}
+
+// evaluate runs the staged pipeline for one job. The cached verdict
+// compares per-stage miss counts around the evaluation: zero new misses
+// outside Parse means every artifact was served from cache or store.
+// (Exact with one worker; best-effort under concurrent jobs, whose
+// misses can bleed into each other's windows.)
+func (s *server) evaluate(j *job) (*core.Evaluation, bool, error) {
+	workload := j.req.Workload
+	if workload == "" {
+		workload = "kernel"
+	}
+	before := s.cache.PerStage()
+	eval, err := s.pipe.EvaluateKernel(j.src, j.req.Kernel, workload)
+	after := s.cache.PerStage()
+	cached := true
+	for st := core.Stage(0); st < core.NumStages; st++ {
+		if st != core.StageParse && after[st].Misses != before[st].Misses {
+			cached = false
+		}
+	}
+	return eval, cached, err
+}
+
+// maxRequestBytes bounds one submission body (descriptions and kernels
+// are text; a megabyte is generous).
+const maxRequestBytes = 1 << 20
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, statusJSON{Status: statusFailed, Error: err.Error()})
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, statusJSON{Status: statusFailed, Error: "bad request: " + err.Error()})
+		return
+	}
+	src, err := resolveSource(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, statusJSON{Status: statusFailed, Error: err.Error()})
+		return
+	}
+	j := &job{
+		id:        fmt.Sprintf("j%d", s.nextID.Add(1)),
+		req:       req,
+		src:       src,
+		status:    statusQueued,
+		submitted: time.Now(),
+	}
+	s.jobs.Store(j.id, j)
+
+	s.qmu.RLock()
+	if s.drainng {
+		s.qmu.RUnlock()
+		s.jobs.Delete(j.id)
+		s.reg.Counter("served.jobs.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, statusJSON{Status: statusRetry, Retryable: true, Error: "server draining; resubmit"})
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.qmu.RUnlock()
+		s.reg.Counter("served.jobs.submitted").Inc()
+		s.reg.Gauge("served.queue.depth").Set(int64(len(s.queue)))
+		writeJSON(w, http.StatusAccepted, statusJSON{ID: j.id, Status: statusQueued})
+	default:
+		s.qmu.RUnlock()
+		s.jobs.Delete(j.id)
+		s.reg.Counter("served.jobs.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, statusJSON{Status: statusRetry, Retryable: true, Error: "job queue full; resubmit"})
+	}
+}
+
+// resolveSource turns a request into ISDL text: exactly one of machine
+// (builtin name) or isdl (raw source), plus a non-empty kernel.
+func resolveSource(req jobRequest) (string, error) {
+	if req.Kernel == "" {
+		return "", errors.New("kernel is required")
+	}
+	switch {
+	case req.Machine != "" && req.ISDL != "":
+		return "", errors.New("give machine or isdl, not both")
+	case req.Machine != "":
+		src, ok := repro.Machines()[req.Machine]
+		if !ok {
+			return "", fmt.Errorf("unknown machine %q", req.Machine)
+		}
+		return src, nil
+	case req.ISDL != "":
+		return req.ISDL, nil
+	}
+	return "", errors.New("machine or isdl is required")
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	v, ok := s.jobs.Load(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, statusJSON{Status: statusFailed, Error: "unknown job " + r.PathValue("id")})
+		return nil, false
+	}
+	return v.(*job), true
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.statusJSON(false))
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	out := j.statusJSON(true)
+	switch out.Status {
+	case statusDone:
+		writeJSON(w, http.StatusOK, out)
+	case statusRetry:
+		out.Eval = nil
+		writeJSON(w, http.StatusServiceUnavailable, out)
+	default:
+		// Not finished (or failed): the status document says which; 409
+		// tells pollers to keep waiting or give up, not to parse an
+		// evaluation.
+		out.Eval = nil
+		writeJSON(w, http.StatusConflict, out)
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteMetricsJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

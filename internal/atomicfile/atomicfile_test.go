@@ -1,0 +1,87 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v; want hello", got, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+	// Overwrite replaces the content wholesale.
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite = %q, want v2", got)
+	}
+}
+
+// TestPartialWriteLeavesTargetIntact is the truncated/partial-write
+// regression test: a writer that emits half its output and then fails
+// must leave the previous file byte-identical and must not litter the
+// directory with temporaries.
+func TestPartialWriteLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	if err := WriteFile(path, []byte("good old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		if _, err := w.Write([]byte(`{"version":2,"stages":{"compile":[`)); err != nil {
+			return err
+		}
+		return boom // crash mid-document
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteTo error = %v, want wrapped %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good old content" {
+		t.Fatalf("target after failed write = %q, %v; want old content intact", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cache.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory litter after failed write: %v", names)
+	}
+}
+
+// A failed first write must not create the target at all.
+func TestPartialWriteCreatesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.bin")
+	err := WriteTo(path, 0o755, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return errors.New("interrupted")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("target exists after failed first write (stat err %v)", err)
+	}
+}

@@ -1,0 +1,169 @@
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// blobsPrefix is the URL tree both the client and Handler agree on; the
+// server (cmd/served, or any process mounting Handler there) is the
+// shared front door two explorers on different machines meet at.
+const blobsPrefix = "/v1/blobs/"
+
+// maxBlobBytes bounds one blob on the wire (and in a Handler-backed
+// server's memory). Stage artifacts are a few KB of JSON; aot simulator
+// binaries are a few MB; 64 MiB is comfortably past both.
+const maxBlobBytes = 64 << 20
+
+// HTTP is the remote Store client: GET/PUT/HEAD against
+// base + /v1/blobs/{ns}/{key}.
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP returns a client for the store served at base
+// (e.g. "http://build-host:8344"). A trailing slash is tolerated.
+func NewHTTP(base string) *HTTP {
+	return &HTTP{
+		base:   strings.TrimSuffix(base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (s *HTTP) url(ns string, key Key) string {
+	return s.base + blobsPrefix + ns + "/" + key.String()
+}
+
+// Get implements Store.
+func (s *HTTP) Get(ns string, key Key) ([]byte, error) {
+	if err := checkNS(ns); err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Get(s.url(ns, key))
+	if err != nil {
+		return nil, fmt.Errorf("blob: http get: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("blob: http get: %w", err)
+		}
+		if len(data) > maxBlobBytes {
+			return nil, fmt.Errorf("blob: http get %s/%s: blob exceeds %d bytes", ns, key, maxBlobBytes)
+		}
+		return data, nil
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("blob: %s/%s: %w", ns, key, ErrNotFound)
+	default:
+		return nil, fmt.Errorf("blob: http get %s/%s: %s", ns, key, resp.Status)
+	}
+}
+
+// Put implements Store.
+func (s *HTTP) Put(ns string, key Key, data []byte) error {
+	if err := checkNS(ns); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, s.url(ns, key), strings.NewReader(string(data)))
+	if err != nil {
+		return fmt.Errorf("blob: http put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("blob: http put: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("blob: http put %s/%s: %s", ns, key, resp.Status)
+	}
+	return nil
+}
+
+// Has implements Store.
+func (s *HTTP) Has(ns string, key Key) (bool, error) {
+	if err := checkNS(ns); err != nil {
+		return false, err
+	}
+	resp, err := s.client.Head(s.url(ns, key))
+	if err != nil {
+		return false, fmt.Errorf("blob: http has: %w", err)
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("blob: http has %s/%s: %s", ns, key, resp.Status)
+	}
+}
+
+// Handler serves a Store over the /v1/blobs/{ns}/{key} tree the HTTP
+// client speaks: GET returns the blob (404 when absent), HEAD probes it,
+// PUT stores the body (idempotently; 204 on success). Mount it at the
+// server root — it routes by full path, so it composes with other
+// handlers on the same mux.
+func Handler(s Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(blobsPrefix+"{ns}/{key}", func(w http.ResponseWriter, r *http.Request) {
+		ns := r.PathValue("ns")
+		if err := checkNS(ns); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key, err := ParseKey(r.PathValue("key"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			data, err := s.Get(ns, key)
+			if errors.Is(err, ErrNotFound) {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+		case http.MethodHead:
+			ok, err := s.Has(ns, key)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		case http.MethodPut:
+			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+				return
+			}
+			if err := s.Put(ns, key, data); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}

@@ -134,12 +134,22 @@ type StageStats struct {
 //
 // Cached artifacts are shared across callers (and goroutines) and must be
 // treated as immutable.
+//
+// The memory tables are the first tier. With SetStore, a BlobStore
+// (internal/blob — shared directory or remote HTTP) becomes the second:
+// serializable stage artifacts are written through on Put and consulted
+// on a memory miss, so processes sharing a store share every artifact
+// (see blobstore.go and docs/PIPELINE.md).
 type StageCache struct {
 	mu     sync.Mutex
 	tables [NumStages]map[CacheKey]stageEntry
 	hits   [NumStages]*obs.Counter
 	misses [NumStages]*obs.Counter
 	bound  *obs.Registry // registry the counters live in, nil if standalone
+	store  BlobStore     // second tier, nil for memory-only
+	// Store-tier traffic, in registry counters after Bind
+	// (cache.store.hits/.misses/.errors).
+	storeHits, storeMisses, storeErrs *obs.Counter
 }
 
 // NewStageCache returns an empty cache.
@@ -150,6 +160,9 @@ func NewStageCache() *StageCache {
 		c.hits[i] = obs.NewCounter()
 		c.misses[i] = obs.NewCounter()
 	}
+	c.storeHits = obs.NewCounter()
+	c.storeMisses = obs.NewCounter()
+	c.storeErrs = obs.NewCounter()
 	return c
 }
 
@@ -178,29 +191,59 @@ func (c *StageCache) Bind(r *obs.Registry) {
 		m.Add(c.misses[s].Value())
 		c.misses[s] = m
 	}
+	for _, ct := range []struct {
+		name string
+		c    **obs.Counter
+	}{
+		{"cache.store.hits", &c.storeHits},
+		{"cache.store.misses", &c.storeMisses},
+		{"cache.store.errors", &c.storeErrs},
+	} {
+		n := r.Counter(ct.name)
+		n.Add((*ct.c).Value())
+		*ct.c = n
+	}
 }
 
 // Get looks up a stage's key, counting a hit or a miss. On a hit it
-// returns the memoized artifact or error.
+// returns the memoized artifact or error. A memory miss consults the
+// attached BlobStore (if any) for the serializable stages before
+// counting the miss; a store hit installs the entry in memory and counts
+// as a hit, so StageStats reflect work avoided, wherever the artifact
+// came from.
 func (c *StageCache) Get(s Stage, k CacheKey) (val any, err error, ok bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.tables[s][k]
-	if ok {
+	if e, ok := c.tables[s][k]; ok {
 		c.hits[s].Inc()
-	} else {
-		c.misses[s].Inc()
+		c.mu.Unlock()
+		return e.val, e.err, true
 	}
-	return e.val, e.err, ok
+	bs := c.store
+	c.mu.Unlock()
+	if bs != nil && storeBacked[s] {
+		if e, ok := c.storeGet(bs, s, k); ok {
+			return e.val, e.err, true
+		}
+	}
+	c.mu.Lock()
+	c.misses[s].Inc()
+	c.mu.Unlock()
+	return nil, nil, false
 }
 
 // Put stores a completed stage artifact (or its deterministic failure)
-// under a key. Concurrent Puts for the same key are benign: every stage is
+// under a key, writing serializable stages through to the attached
+// BlobStore. Concurrent Puts for the same key are benign: every stage is
 // a pure function of the key, so every writer stores the same result.
 func (c *StageCache) Put(s Stage, k CacheKey, val any, err error) {
+	e := stageEntry{val: val, err: err}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tables[s][k] = stageEntry{val: val, err: err}
+	c.tables[s][k] = e
+	bs := c.store
+	c.mu.Unlock()
+	if bs != nil && storeBacked[s] {
+		c.storePut(bs, s, k, e)
+	}
 }
 
 // countRun records an uncached stage execution (StageParse) as a miss, so

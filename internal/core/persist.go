@@ -15,24 +15,140 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+
+	"repro/internal/atomicfile"
 )
 
-// persistVersion guards the on-disk format; bump it whenever a persisted
-// artifact's shape or a stage key's composition changes, so stale caches
-// are rejected instead of silently misread. Version 2: the Synthesize
-// stage keys by isdl.SynthFingerprint instead of the canonical text.
+// persistVersion guards the serialized formats — the cache file and the
+// BlobStore namespaces (blobstore.go), which embed it — so stale caches
+// are rejected (file) or invisible (store) instead of silently misread.
+// Bump it whenever a persisted artifact's shape or a stage key's
+// composition changes. Version 2: the Synthesize stage keys by
+// isdl.SynthFingerprint instead of the canonical text.
 const persistVersion = 2
 
-// persistedEntry is one stage artifact on disk. Exactly one of the value
-// fields (or Err, for a memoized deterministic failure) is set, matching
-// the entry's stage.
+// persistedEntry is one stage artifact in serialized form — an element of
+// the cache file's per-stage arrays, and (without Key, which the blob
+// address already carries) the body of one store blob. Exactly one of
+// the value fields (or Err, for a memoized deterministic failure) is
+// set, matching the entry's stage.
 type persistedEntry struct {
-	Key        string         `json:"key"` // hex CacheKey
-	Err        string         `json:"err,omitempty"`
-	Compile    *string        `json:"compile,omitempty"`
-	Simulate   *SimArtifact   `json:"simulate,omitempty"`
-	Synthesize *SynthArtifact `json:"synthesize,omitempty"`
+	Key        string           `json:"key,omitempty"` // hex CacheKey (cache file only)
+	Err        string           `json:"err,omitempty"`
+	Compile    *string          `json:"compile,omitempty"`
+	Simulate   *SimArtifact     `json:"simulate,omitempty"`
+	Synthesize *SynthArtifact   `json:"synthesize,omitempty"`
+	Combine    *Evaluation      `json:"combine,omitempty"`
+	Codegen    *CodegenArtifact `json:"codegen,omitempty"`
+}
+
+// toPersisted converts one memo entry to its serialized form. The second
+// result is false for entries that do not serialize: live ASTs (Parse,
+// Assemble), nil values, or stages outside the persistable set.
+func toPersisted(s Stage, e stageEntry) (persistedEntry, bool) {
+	var pe persistedEntry
+	if e.err != nil {
+		pe.Err = e.err.Error()
+		return pe, true
+	}
+	switch s {
+	case StageCompile:
+		v, ok := e.val.(string)
+		if !ok {
+			return pe, false
+		}
+		pe.Compile = &v
+	case StageSimulate:
+		v, ok := e.val.(SimArtifact)
+		if !ok {
+			return pe, false
+		}
+		pe.Simulate = &v
+	case StageSynthesize:
+		v, ok := e.val.(SynthArtifact)
+		if !ok {
+			return pe, false
+		}
+		v.Result = nil // figures only; the model is not serializable
+		pe.Synthesize = &v
+	case StageCombine:
+		v, ok := e.val.(*Evaluation)
+		if !ok || v == nil {
+			return pe, false
+		}
+		cp := *v
+		cp.Hardware = nil // like Synthesize: figures travel, the live model does not
+		pe.Combine = &cp
+	case StageCodegen:
+		v, ok := e.val.(CodegenArtifact)
+		if !ok {
+			return pe, false
+		}
+		pe.Codegen = &v
+	default:
+		return pe, false
+	}
+	return pe, true
+}
+
+// fromPersisted converts a serialized entry back to a memo entry. The
+// second result is false when the entry carries no value for the stage
+// (wrong or empty field — a malformed document, not an error worth
+// failing a load over).
+func fromPersisted(s Stage, pe persistedEntry) (stageEntry, bool) {
+	if pe.Err != "" {
+		return stageEntry{err: errors.New(pe.Err)}, true
+	}
+	switch s {
+	case StageCompile:
+		if pe.Compile != nil {
+			return stageEntry{val: *pe.Compile}, true
+		}
+	case StageSimulate:
+		if pe.Simulate != nil {
+			return stageEntry{val: *pe.Simulate}, true
+		}
+	case StageSynthesize:
+		if pe.Synthesize != nil {
+			return stageEntry{val: *pe.Synthesize}, true
+		}
+	case StageCombine:
+		if pe.Combine != nil {
+			return stageEntry{val: pe.Combine}, true
+		}
+	case StageCodegen:
+		if pe.Codegen != nil {
+			return stageEntry{val: *pe.Codegen}, true
+		}
+	}
+	return stageEntry{}, false
+}
+
+// encodeStageBlob renders one entry as a store blob (persistedEntry
+// JSON, no key — the blob's address carries it).
+func encodeStageBlob(s Stage, e stageEntry) ([]byte, bool) {
+	pe, ok := toPersisted(s, e)
+	if !ok {
+		return nil, false
+	}
+	data, err := json.Marshal(&pe)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// decodeStageBlob parses a store blob back into a memo entry.
+func decodeStageBlob(s Stage, data []byte) (stageEntry, error) {
+	var pe persistedEntry
+	if err := json.Unmarshal(data, &pe); err != nil {
+		return stageEntry{}, fmt.Errorf("core: decode %s blob: %w", s, err)
+	}
+	e, ok := fromPersisted(s, pe)
+	if !ok {
+		return stageEntry{}, fmt.Errorf("core: %s blob carries no %s artifact", s, s)
+	}
+	return e, nil
 }
 
 // persistedCache is the on-disk form of a StageCache's serializable stages.
@@ -53,32 +169,11 @@ func (c *StageCache) Save(w io.Writer) error {
 	for _, s := range persistableStages {
 		entries := make([]persistedEntry, 0, len(c.tables[s]))
 		for k, e := range c.tables[s] {
-			pe := persistedEntry{Key: hex.EncodeToString(k[:])}
-			if e.err != nil {
-				pe.Err = e.err.Error()
-			} else {
-				switch s {
-				case StageCompile:
-					v, ok := e.val.(string)
-					if !ok {
-						continue
-					}
-					pe.Compile = &v
-				case StageSimulate:
-					v, ok := e.val.(SimArtifact)
-					if !ok {
-						continue
-					}
-					pe.Simulate = &v
-				case StageSynthesize:
-					v, ok := e.val.(SynthArtifact)
-					if !ok {
-						continue
-					}
-					v.Result = nil // figures only; the model is not serializable
-					pe.Synthesize = &v
-				}
+			pe, ok := toPersisted(s, e)
+			if !ok {
+				continue
 			}
+			pe.Key = hex.EncodeToString(k[:])
 			entries = append(entries, pe)
 		}
 		out.Stages[s.String()] = entries
@@ -108,58 +203,20 @@ func (c *StageCache) Load(r io.Reader) error {
 			}
 			var k CacheKey
 			copy(k[:], raw)
-			if pe.Err != "" {
-				c.Put(s, k, nil, errors.New(pe.Err))
-				continue
-			}
-			switch s {
-			case StageCompile:
-				if pe.Compile != nil {
-					c.Put(s, k, *pe.Compile, nil)
-				}
-			case StageSimulate:
-				if pe.Simulate != nil {
-					c.Put(s, k, *pe.Simulate, nil)
-				}
-			case StageSynthesize:
-				if pe.Synthesize != nil {
-					c.Put(s, k, *pe.Synthesize, nil)
-				}
+			if e, ok := fromPersisted(s, pe); ok {
+				c.Put(s, k, e.val, e.err)
 			}
 		}
 	}
 	return nil
 }
 
-// SaveFile writes the cache to a file (see Save) atomically: the JSON goes
-// to a temporary file in the same directory, is fsynced, and is renamed
-// over the target. A crash or kill mid-write therefore leaves either the
-// old cache or the new one — never a truncated file that would poison the
+// SaveFile writes the cache to a file (see Save) atomically via
+// internal/atomicfile: a crash or kill mid-write leaves either the old
+// cache or the new one — never a truncated file that would poison the
 // next run's -cache-file load.
 func (c *StageCache) SaveFile(path string) error {
-	dir, base := filepath.Dir(path), filepath.Base(path)
-	f, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("core: save cache: %w", err)
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("core: save cache: %w", err)
-	}
-	if err := c.Save(f); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: save cache: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := atomicfile.WriteTo(path, 0o644, c.Save); err != nil {
 		return fmt.Errorf("core: save cache: %w", err)
 	}
 	return nil
@@ -176,4 +233,25 @@ func (c *StageCache) LoadFile(path string) error {
 		return fmt.Errorf("core: load cache %s: %w", path, err)
 	}
 	return nil
+}
+
+// LoadFileIfExists merges a cache file into the cache, distinguishing
+// the two cold-start cases callers must treat differently: a missing
+// file is a normal first run (returns loaded=false, nil error — start
+// empty), while an unreadable or corrupt file is a hard error (the cache
+// the user pointed at exists but cannot be trusted; silently starting
+// empty would recompute everything and then overwrite it).
+func (c *StageCache) LoadFileIfExists(path string) (loaded bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("core: load cache: %w", err)
+	}
+	defer f.Close()
+	if err := c.Load(f); err != nil {
+		return false, fmt.Errorf("core: load cache %s: %w", path, err)
+	}
+	return true, nil
 }

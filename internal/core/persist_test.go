@@ -123,3 +123,51 @@ func TestLoadFileTruncated(t *testing.T) {
 		t.Errorf("cache unusable after failed load: %v %v %v", v, err, ok)
 	}
 }
+
+// The two -cache-file cold-start cases (satellite regression tests): a
+// missing file is a normal first run — LoadFileIfExists reports "nothing
+// loaded" without error — while a corrupt file is a hard error, never a
+// silent empty start.
+func TestLoadFileIfExistsMissing(t *testing.T) {
+	c := NewStageCache()
+	loaded, err := c.LoadFileIfExists(filepath.Join(t.TempDir(), "never-written.json"))
+	if err != nil {
+		t.Fatalf("missing cache file treated as error: %v", err)
+	}
+	if loaded {
+		t.Fatal("LoadFileIfExists claims to have loaded a missing file")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache not empty after missing-file load: %d entries", c.Len())
+	}
+}
+
+func TestLoadFileIfExistsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("{this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewStageCache()
+	loaded, err := c.LoadFileIfExists(path)
+	if err == nil || loaded {
+		t.Fatalf("corrupt cache file = (loaded=%v, err=%v), want hard error", loaded, err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}
+
+func TestLoadFileIfExistsLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := persistSeed(t).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c := NewStageCache()
+	loaded, err := c.LoadFileIfExists(path)
+	if err != nil || !loaded {
+		t.Fatalf("LoadFileIfExists = (%v, %v), want (true, nil)", loaded, err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", c.Len())
+	}
+}

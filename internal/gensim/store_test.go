@@ -1,0 +1,68 @@
+package gensim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/machines"
+)
+
+// TestBuildPublishesAndFetchesFromStore: a build with a store attached
+// publishes the binary; a second build against a cold local cache (new
+// REPRO_GENSIM_CACHE) is served from the store without invoking the
+// toolchain's build step, and the fetched binary runs.
+func TestBuildPublishesAndFetchesFromStore(t *testing.T) {
+	if Disabled() {
+		t.Skip("no Go toolchain (or REPRO_GENSIM_DISABLE set)")
+	}
+	st := blob.NewMem()
+	SetStore(st)
+	t.Cleanup(func() { SetStore(nil) })
+
+	t.Setenv("REPRO_GENSIM_CACHE", filepath.Join(t.TempDir(), "cache-a"))
+	d := machines.Toy()
+	first, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.StoreHit {
+		t.Fatal("first build claims a store hit on an empty store")
+	}
+	if ok, err := st.Has(storeNS(), blob.KeyOf(first.Fingerprint)); err != nil || !ok {
+		t.Fatalf("binary not published to store: has=%v err=%v", ok, err)
+	}
+
+	// A different machine (modeled as a cold local cache) fetches instead
+	// of building.
+	t.Setenv("REPRO_GENSIM_CACHE", filepath.Join(t.TempDir(), "cache-b"))
+	second, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.StoreHit || !second.CacheHit {
+		t.Fatalf("second build = %+v, want store-served cache hit", second)
+	}
+	fi, err := os.Stat(second.Bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm()&0o100 == 0 {
+		t.Errorf("fetched binary not executable: %v", fi.Mode())
+	}
+	want, _ := os.ReadFile(first.Bin)
+	got, _ := os.ReadFile(second.Bin)
+	if len(got) == 0 || string(got) != string(want) {
+		t.Fatalf("fetched binary differs from built one (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Third build: pure local hit, no store round trip needed.
+	third, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit || third.StoreHit {
+		t.Fatalf("third build = %+v, want local cache hit", third)
+	}
+}
