@@ -1,0 +1,115 @@
+package main
+
+// -bench-json turns `go test -bench` output into a machine-readable
+// benchmark document, so CI and the PR history can archive benchmark
+// runs (BENCH_<pr>.json) without re-parsing Go's text format:
+//
+//	go test -bench Explore -run '^$' . | paper -bench-json BENCH.json
+//
+// Every Benchmark line becomes one result: the name (with Go's
+// -GOMAXPROCS suffix stripped), the iteration count, ns/op, and any
+// extra ReportMetric pairs (MIPS, instrs/op, ...) keyed by unit.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/atomicfile"
+)
+
+// BenchResult is one parsed Benchmark line.
+type BenchResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchDoc is the -bench-json output document.
+type benchDoc struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []BenchResult `json:"results"`
+}
+
+// benchLine matches `BenchmarkName[-procs] <iters> <value> <unit> ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// procsSuffix is Go's trailing -GOMAXPROCS on benchmark names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts every benchmark result from `go test
+// -bench` text output. Non-benchmark lines (PASS, ok, pkg headers,
+// goos/goarch) are skipped; a Benchmark line whose measurements do not
+// parse is an error rather than a silent drop.
+func parseBenchOutput(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		res := BenchResult{Name: procsSuffix.ReplaceAllString(m[1], "")}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench-json: %q: bad iteration count: %v", m[1], err)
+		}
+		res.Iters = iters
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("bench-json: %q: measurements are not value/unit pairs: %q", m[1], m[3])
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench-json: %q: bad value %q: %v", m[1], fields[i], err)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench-json: read: %w", err)
+	}
+	return out, nil
+}
+
+// writeBenchJSON parses bench output from r and writes the document to
+// name atomically.
+func writeBenchJSON(name string, r io.Reader) error {
+	results, err := parseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("bench-json: no Benchmark lines in input")
+	}
+	doc := benchDoc{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   results,
+	}
+	return atomicfile.WriteTo(name, 0o644, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&doc)
+	})
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.00GHz
+BenchmarkExplore_SPAM/seq-8         	       2	 512345678 ns/op
+BenchmarkExplore_SPAM/par-cache-8   	       5	 101234567 ns/op
+BenchmarkGensim_Interp-8            	     120	   9876543 ns/op	        12.34 MIPS	       321.0 instrs/op
+PASS
+ok  	repro	3.456s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	if got := results[0].Name; got != "BenchmarkExplore_SPAM/seq" {
+		t.Errorf("name = %q, want procs suffix stripped", got)
+	}
+	if results[0].Iters != 2 || results[0].NsPerOp != 512345678 {
+		t.Errorf("result[0] = %+v, want iters 2 and ns/op 512345678", results[0])
+	}
+	if results[0].Metrics != nil {
+		t.Errorf("result[0] has metrics %v, want none", results[0].Metrics)
+	}
+	g := results[2]
+	if g.Name != "BenchmarkGensim_Interp" || g.Iters != 120 {
+		t.Errorf("result[2] = %+v", g)
+	}
+	if g.Metrics["MIPS"] != 12.34 || g.Metrics["instrs/op"] != 321.0 {
+		t.Errorf("result[2] metrics = %v, want MIPS and instrs/op", g.Metrics)
+	}
+}
+
+func TestParseBenchOutputBadLine(t *testing.T) {
+	_, err := parseBenchOutput(strings.NewReader("BenchmarkX-8  3  12 ns/op  extra\n"))
+	if err == nil {
+		t.Fatal("odd value/unit fields parsed without error")
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchJSON(out, strings.NewReader(sampleBenchOutput)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.GoVersion == "" || doc.GOOS == "" || doc.GOARCH == "" {
+		t.Errorf("doc is missing environment fields: %+v", doc)
+	}
+	if len(doc.Results) != 3 {
+		t.Errorf("doc has %d results, want 3", len(doc.Results))
+	}
+}
+
+func TestWriteBenchJSONEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchJSON(out, strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("no Benchmark lines accepted without error")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("output file created despite error (stat err: %v)", err)
+	}
+}

@@ -7,6 +7,9 @@
 //	paper -ablation all      just the ablations
 //	paper -budget 500ms      quicker (noisier) Table 1
 //	paper -cosim-workers 8   Verilog co-simulation fan-out (0 = NumCPU)
+//	paper -bench-json f.json parse `go test -bench` output on stdin into
+//	                         a benchmark JSON document (skips everything
+//	                         else)
 //
 // Table 1's Verilog measurement runs whole workloads concurrently on the
 // internal/cosim worker pool; the report includes the aggregate throughput
@@ -28,7 +31,16 @@ func main() {
 	ablation := flag.String("ablation", "all", "which ablation: sharing | decode | stalls | all | none")
 	budget := flag.Duration("budget", 2*time.Second, "measurement budget per simulator for Table 1")
 	cosimWorkers := flag.Int("cosim-workers", 0, "parallel Verilog co-simulation workers for Table 1 (0 = NumCPU)")
+	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output on stdin and write it as JSON here")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, os.Stdin); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
 
 	if *table == "1" || *table == "all" {
 		t1, err := experiments.RunTable1Opts(experiments.Table1Options{Budget: *budget, Workers: *cosimWorkers})

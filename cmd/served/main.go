@@ -6,16 +6,30 @@
 // Usage:
 //
 //	served [-addr :8344] [-store dir:PATH|mem] [-jobs n] [-queue n]
-//	       [-sim-backend interp|compiled|aot]
+//	       [-sim-backend interp|compiled|aot] [-sample-every 1s]
+//	       [-flight 256] [-pprof]
 //
 // Endpoints (docs/SERVICE.md is the full contract):
 //
 //	POST /v1/jobs                submit an evaluation; 202 {id} or
-//	                             retryable 503 when the queue is full
+//	                             retryable 503 when the queue is full.
+//	                             An X-Repro-Trace header propagates the
+//	                             client's trace context into the daemon's
+//	                             spans.
 //	GET  /v1/jobs/{id}           job status
-//	GET  /v1/jobs/{id}/result    the Evaluation once status is done
+//	GET  /v1/jobs/{id}/result    the Evaluation once status is done,
+//	                             plus the job's daemon-side spans for
+//	                             cross-process trace merging
 //	     /v1/blobs/{ns}/{key}    the shared artifact store (GET/PUT/HEAD)
-//	GET  /healthz, /metrics      liveness and the obs registry as JSON
+//	GET  /healthz, /metrics      liveness and the obs registry as JSON;
+//	                             ?format=prom for Prometheus text
+//	                             exposition, ?format=text for the summary
+//	GET  /dash, /dash/data       live dashboard (single-file HTML) and
+//	                             its sampled time-series JSON
+//	GET  /debug/flight           the last N completed spans (flight
+//	                             recorder); also dumped to stderr on
+//	                             SIGQUIT
+//	     /debug/pprof/           continuous profiling, only with -pprof
 //
 // On SIGINT/SIGTERM the daemon drains: new submits are rejected with a
 // retryable 503, in-flight evaluations run to completion (their
@@ -49,6 +63,10 @@ func main() {
 	queueCap := flag.Int("queue", 64, "pending-job bound; submits beyond it get a retryable 503")
 	simBackend := flag.String("sim-backend", "", "simulator backend for evaluations: interp, compiled (default) or aot")
 	drainWait := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for open HTTP connections")
+	sampleEvery := flag.Duration("sample-every", time.Second, "dashboard sampling interval")
+	sampleWindow := flag.Int("sample-window", 360, "samples kept for the dashboard")
+	flightCap := flag.Int("flight", 256, "flight-recorder capacity (last N completed spans)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	st, err := blob.Open(*storeSpec)
@@ -57,7 +75,15 @@ func main() {
 	}
 	gensim.SetStore(st) // aot simulator binaries share the store too
 	reg := obs.NewRegistry()
-	srv, err := newServer(st, reg, *workers, *queueCap, *simBackend)
+	srv, err := newServer(st, reg, serverConfig{
+		workers:    *workers,
+		queueCap:   *queueCap,
+		simBackend: *simBackend,
+		sampleEvry: *sampleEvery,
+		sampleWin:  *sampleWindow,
+		flightCap:  *flightCap,
+		pprof:      *pprofOn,
+	})
 	if err != nil {
 		log.Fatalln("served:", err)
 	}
@@ -74,6 +100,18 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Println("served: shutdown:", err)
+		}
+	}()
+	// SIGQUIT dumps the flight recorder — the last N completed spans —
+	// to stderr without stopping the daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "served: flight recorder dump (SIGQUIT):")
+			if err := srv.flight.WriteJSON(os.Stderr); err != nil {
+				log.Println("served: flight dump:", err)
+			}
 		}
 	}()
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; exposed only with -pprof
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,15 +50,18 @@ const (
 
 // job is one queued or completed evaluation.
 type job struct {
-	id  string
-	req jobRequest
-	src string // resolved ISDL source
+	id    string
+	req   jobRequest
+	src   string           // resolved ISDL source
+	trace obs.TraceContext // client's trace context, if the submit carried one
+	wait  *obs.Span        // queue-wait span, started at submit, ended when run begins
 
 	mu        sync.Mutex
 	status    jobStatus
 	errMsg    string
 	eval      *core.Evaluation
 	cached    bool
+	roots     []uint64 // span IDs whose subtrees belong to this job
 	submitted time.Time
 }
 
@@ -76,6 +80,12 @@ type statusJSON struct {
 	Cached    bool             `json:"cached,omitempty"`
 	Retryable bool             `json:"retryable,omitempty"`
 	Eval      *core.Evaluation `json:"evaluation,omitempty"`
+	// TraceID is the daemon registry's trace identity and Spans the
+	// job's daemon-side span subtrees (queue wait, the job, its pipeline
+	// stages) in wire form — returned with the result so the client can
+	// merge them under its own submit span (obs.ImportSpans).
+	TraceID string         `json:"trace_id,omitempty"`
+	Spans   []obs.WireSpan `json:"spans,omitempty"`
 }
 
 func (j *job) statusJSON(withEval bool) statusJSON {
@@ -89,16 +99,38 @@ func (j *job) statusJSON(withEval bool) statusJSON {
 	return out
 }
 
+// Trace lanes: jobs and their pipeline stages run on lane 0, queue-wait
+// spans on lane 1, server-side blob transfers on blob.HandlerObs's own
+// lane. Exported lane names make the merged trace self-describing.
+const (
+	laneJobs  = 0
+	laneQueue = 1
+)
+
+// serverConfig sizes a server's fleet-telemetry knobs alongside the
+// queue; zero values mean "sensible default" (and "off" for pprof).
+type serverConfig struct {
+	workers    int
+	queueCap   int
+	simBackend string        // "" = evaluator default
+	sampleEvry time.Duration // dashboard sampling interval; <= 0 = 1s
+	sampleWin  int           // samples kept for the dashboard; <= 0 = 360
+	flightCap  int           // flight-recorder span ring; <= 0 = 256
+	pprof      bool          // mount net/http/pprof under /debug/pprof/
+}
+
 // server owns the queue, the workers, the shared store and the pipeline.
 type server struct {
-	reg   *obs.Registry
-	store blob.Store
-	cache *core.StageCache
-	pipe  *core.Pipeline
+	reg     *obs.Registry
+	store   blob.Store
+	cache   *core.StageCache
+	pipe    *core.Pipeline
+	sampler *obs.Sampler
+	flight  *obs.FlightRecorder
 
-	// evalFn runs one job's evaluation; tests stub it. The bool is the
-	// served-from-cache verdict.
-	evalFn func(*job) (*core.Evaluation, bool, error)
+	// evalFn runs one job's evaluation under the given parent span;
+	// tests stub it. The bool is the served-from-cache verdict.
+	evalFn func(*job, *obs.Span) (*core.Evaluation, bool, error)
 
 	workers int
 	queue   chan *job
@@ -112,16 +144,14 @@ type server struct {
 	mux    *http.ServeMux
 }
 
-// newServer wires a server over a store. workers is the evaluation
-// concurrency, queueCap the pending-job bound; simBackend optionally
-// overrides the evaluator's simulator backend ("" = default).
-func newServer(st blob.Store, reg *obs.Registry, workers, queueCap int, simBackend string) (*server, error) {
-	if workers <= 0 || queueCap <= 0 {
-		return nil, fmt.Errorf("served: workers (%d) and queue capacity (%d) must be positive", workers, queueCap)
+// newServer wires a server over a store per cfg.
+func newServer(st blob.Store, reg *obs.Registry, cfg serverConfig) (*server, error) {
+	if cfg.workers <= 0 || cfg.queueCap <= 0 {
+		return nil, fmt.Errorf("served: workers (%d) and queue capacity (%d) must be positive", cfg.workers, cfg.queueCap)
 	}
 	ev := core.NewEvaluator()
-	if simBackend != "" {
-		sb, err := xsim.ParseBackend(simBackend)
+	if cfg.simBackend != "" {
+		sb, err := xsim.ParseBackend(cfg.simBackend)
 		if err != nil {
 			return nil, err
 		}
@@ -130,27 +160,42 @@ func newServer(st blob.Store, reg *obs.Registry, workers, queueCap int, simBacke
 	cache := core.NewStageCache()
 	cache.Bind(reg)
 	cache.SetStore(st)
+	flight := obs.NewFlightRecorder(cfg.flightCap)
+	reg.AttachFlight(flight)
+	reg.SetLaneName(laneJobs, "jobs")
+	reg.SetLaneName(laneQueue, "queue")
 	s := &server{
 		reg:     reg,
 		store:   st,
 		cache:   cache,
 		pipe:    &core.Pipeline{Evaluator: ev, Cache: cache, Obs: reg},
-		workers: workers,
-		queue:   make(chan *job, queueCap),
+		sampler: obs.NewSampler(reg, cfg.sampleEvry, cfg.sampleWin),
+		flight:  flight,
+		workers: cfg.workers,
+		queue:   make(chan *job, cfg.queueCap),
 		mux:     http.NewServeMux(),
 	}
 	s.evalFn = s.evaluate
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.Handle("/v1/blobs/", blob.Handler(st))
+	s.mux.Handle("/v1/blobs/", blob.HandlerObs(st, reg))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /dash", obs.DashHandler(s.sampler))
+	s.mux.Handle("GET /dash/data", obs.DashHandler(s.sampler))
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	if cfg.pprof {
+		// The net/http/pprof import registers on DefaultServeMux;
+		// exposing it is opt-in.
+		s.mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	}
 	return s, nil
 }
 
-// start launches the evaluation workers.
+// start launches the evaluation workers and the dashboard sampler.
 func (s *server) start() {
+	s.sampler.Start()
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -169,6 +214,7 @@ func (s *server) beginDrain() {
 
 // closeAndWait closes the queue and waits for the workers: in-flight
 // evaluations drain to completion, still-queued jobs are marked retry.
+// The dashboard sampler stops with them.
 func (s *server) closeAndWait() {
 	s.qmu.Lock()
 	if !s.closed {
@@ -178,6 +224,7 @@ func (s *server) closeAndWait() {
 	}
 	s.qmu.Unlock()
 	s.wg.Wait()
+	s.sampler.Stop()
 }
 
 func (s *server) isDraining() bool {
@@ -193,6 +240,8 @@ func (s *server) worker() {
 		if s.isDraining() {
 			// Queued but never started: reject retryably rather than
 			// stretch the shutdown by a whole evaluation.
+			j.wait.SetArg("outcome", "drained")
+			j.wait.End()
 			j.set(statusRetry, "server draining; resubmit")
 			s.reg.Counter("served.jobs.retried").Inc()
 			continue
@@ -202,15 +251,25 @@ func (s *server) worker() {
 }
 
 // run executes one job under a span, with the wait and run times in
-// histograms and the outcome in counters.
+// histograms and the outcome in counters. The queue-wait span ends here
+// (its duration IS the queue time); the job span parents the pipeline's
+// stage spans, and both subtrees are remembered on the job so the result
+// endpoint can ship them back to a tracing client.
 func (s *server) run(j *job) {
-	sp := s.reg.StartSpan("job")
+	j.wait.End()
+	sp := s.reg.StartSpanLane("job", laneJobs)
 	sp.SetArg("id", j.id)
+	if j.trace.Valid() {
+		sp.SetArg("client", j.trace.String())
+	}
+	j.mu.Lock()
+	j.roots = []uint64{j.wait.ID(), sp.ID()}
+	j.mu.Unlock()
 	s.reg.Histogram("served.job.wait.ns").Observe(time.Since(j.submitted))
 	s.reg.Gauge("served.jobs.running").Add(1)
 	j.set(statusRunning, "")
 	start := time.Now()
-	eval, cached, err := s.evalFn(j)
+	eval, cached, err := s.evalFn(j, sp)
 	s.reg.Histogram("served.job.run.ns").Observe(time.Since(start))
 	s.reg.Gauge("served.jobs.running").Add(-1)
 	if err != nil {
@@ -239,13 +298,13 @@ func (s *server) run(j *job) {
 // outside Parse means every artifact was served from cache or store.
 // (Exact with one worker; best-effort under concurrent jobs, whose
 // misses can bleed into each other's windows.)
-func (s *server) evaluate(j *job) (*core.Evaluation, bool, error) {
+func (s *server) evaluate(j *job, sp *obs.Span) (*core.Evaluation, bool, error) {
 	workload := j.req.Workload
 	if workload == "" {
 		workload = "kernel"
 	}
 	before := s.cache.PerStage()
-	eval, err := s.pipe.EvaluateKernel(j.src, j.req.Kernel, workload)
+	eval, err := s.pipe.EvaluateKernelTraced(j.src, j.req.Kernel, workload, sp)
 	after := s.cache.PerStage()
 	cached := true
 	for st := core.Stage(0); st < core.NumStages; st++ {
@@ -282,6 +341,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		src:       src,
 		status:    statusQueued,
 		submitted: time.Now(),
+	}
+	j.trace, _ = obs.ExtractTrace(r.Header)
+	// The queue-wait span starts now and ends when a worker picks the
+	// job up (or the drain rejects it). Rejected submits below never End
+	// it, so it is never recorded.
+	j.wait = s.reg.StartSpanLane("queue-wait", laneQueue)
+	j.wait.SetArg("id", j.id)
+	if j.trace.Valid() {
+		j.wait.SetArg("client", j.trace.String())
 	}
 	s.jobs.Store(j.id, j)
 
@@ -355,6 +423,13 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	out := j.statusJSON(true)
 	switch out.Status {
 	case statusDone:
+		j.mu.Lock()
+		roots := append([]uint64(nil), j.roots...)
+		j.mu.Unlock()
+		if spans := s.reg.ExportSubtrees(roots...); len(spans) > 0 {
+			out.TraceID = fmt.Sprintf("%016x", s.reg.TraceID())
+			out.Spans = spans
+		}
 		writeJSON(w, http.StatusOK, out)
 	case statusRetry:
 		out.Eval = nil
@@ -377,8 +452,32 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (json, prom or text)", format), http.StatusBadRequest)
+	}
+}
+
+// handleFlight dumps the flight recorder: the last N completed spans,
+// oldest first, as JSON wire spans with wall-clock timestamps.
+func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.reg.WriteMetricsJSON(w); err != nil {
+	if err := s.flight.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

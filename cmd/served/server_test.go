@@ -26,7 +26,7 @@ const testKernel = "var x, y;\nx = 2;\ny = x + 3;\n"
 
 func newTestServer(t *testing.T, workers, queueCap int) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(blob.NewMem(), obs.NewRegistry(), workers, queueCap, "")
+	s, err := newServer(blob.NewMem(), obs.NewRegistry(), serverConfig{workers: workers, queueCap: queueCap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +154,11 @@ func TestSubmitValidation(t *testing.T) {
 
 // blockingEval parks every evaluation until release is closed, so tests
 // control exactly which jobs are in flight.
-func blockingEval(release <-chan struct{}) (func(*job) (*core.Evaluation, bool, error), *sync.WaitGroup) {
+func blockingEval(release <-chan struct{}) (func(*job, *obs.Span) (*core.Evaluation, bool, error), *sync.WaitGroup) {
 	var started sync.WaitGroup
 	started.Add(1)
 	var once sync.Once
-	return func(j *job) (*core.Evaluation, bool, error) {
+	return func(j *job, _ *obs.Span) (*core.Evaluation, bool, error) {
 		once.Do(started.Done)
 		<-release
 		return &core.Evaluation{}, false, nil
@@ -257,7 +257,7 @@ func TestBlobTreeMounted(t *testing.T) {
 // TestMetricsEndpoint: counters move and export as JSON.
 func TestMetricsEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, 1, 8)
-	s.evalFn = func(*job) (*core.Evaluation, bool, error) { return &core.Evaluation{}, false, nil }
+	s.evalFn = func(*job, *obs.Span) (*core.Evaluation, bool, error) { return &core.Evaluation{}, false, nil }
 	s.start()
 	defer s.closeAndWait()
 	_, sub := postJob(t, ts.URL, jobRequest{Machine: "toy", Kernel: testKernel})

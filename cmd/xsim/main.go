@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro"
+	"repro/internal/atomicfile"
 	_ "repro/internal/gensim" // registers the aot backend
 	"repro/internal/obs"
 	"repro/internal/xsim"
@@ -108,19 +110,22 @@ func main() {
 	if *metricsOut != "" {
 		reg := obs.NewRegistry()
 		sim.Perf().Publish(reg)
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := reg.WriteMetricsJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote metrics %s\n", *metricsOut)
+		writeMetrics(reg, *metricsOut)
 	}
+}
+
+// writeMetrics writes the registry to name atomically (temp + rename, so
+// a crash or exporter error never truncates an existing file), as JSON
+// or — when name ends in .prom — Prometheus text exposition.
+func writeMetrics(reg *obs.Registry, name string) {
+	exporter := reg.WriteMetricsJSON
+	if strings.HasSuffix(name, ".prom") {
+		exporter = reg.WriteProm
+	}
+	if err := atomicfile.WriteTo(name, 0o644, exporter); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote metrics %s\n", name)
 }
 
 // runEngine is the backend-generic batch path: load a program into an
@@ -171,18 +176,7 @@ func runEngine(d *repro.Description, b xsim.Backend, source string, args []strin
 	if metricsOut != "" {
 		reg := obs.NewRegistry()
 		eng.Perf().Publish(reg)
-		f, err := os.Create(metricsOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := reg.WriteMetricsJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote metrics %s\n", metricsOut)
+		writeMetrics(reg, metricsOut)
 	}
 }
 

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // blobsPrefix is the URL tree both the client and Handler agree on; the
@@ -24,6 +27,9 @@ const maxBlobBytes = 64 << 20
 type HTTP struct {
 	base   string
 	client *http.Client
+
+	mu    sync.Mutex
+	trace obs.TraceContext
 }
 
 // NewHTTP returns a client for the store served at base
@@ -39,12 +45,42 @@ func (s *HTTP) url(ns string, key Key) string {
 	return s.base + blobsPrefix + ns + "/" + key.String()
 }
 
+// SetTrace makes every subsequent request carry tc in the X-Repro-Trace
+// header, so a traced server (HandlerObs) records its side of each blob
+// transfer under the caller's trace. An invalid context clears it; a
+// nil client is a no-op. Safe for concurrent use with requests.
+func (s *HTTP) SetTrace(tc obs.TraceContext) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.trace = tc
+	s.mu.Unlock()
+}
+
+// newRequest builds a request with the trace header (when set) injected.
+func (s *HTTP) newRequest(method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	tc := s.trace
+	s.mu.Unlock()
+	tc.Inject(req.Header)
+	return req, nil
+}
+
 // Get implements Store.
 func (s *HTTP) Get(ns string, key Key) ([]byte, error) {
 	if err := checkNS(ns); err != nil {
 		return nil, err
 	}
-	resp, err := s.client.Get(s.url(ns, key))
+	req, err := s.newRequest(http.MethodGet, s.url(ns, key), nil)
+	if err != nil {
+		return nil, fmt.Errorf("blob: http get: %w", err)
+	}
+	resp, err := s.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("blob: http get: %w", err)
 	}
@@ -71,7 +107,7 @@ func (s *HTTP) Put(ns string, key Key, data []byte) error {
 	if err := checkNS(ns); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, s.url(ns, key), strings.NewReader(string(data)))
+	req, err := s.newRequest(http.MethodPut, s.url(ns, key), strings.NewReader(string(data)))
 	if err != nil {
 		return fmt.Errorf("blob: http put: %w", err)
 	}
@@ -93,7 +129,11 @@ func (s *HTTP) Has(ns string, key Key) (bool, error) {
 	if err := checkNS(ns); err != nil {
 		return false, err
 	}
-	resp, err := s.client.Head(s.url(ns, key))
+	req, err := s.newRequest(http.MethodHead, s.url(ns, key), nil)
+	if err != nil {
+		return false, fmt.Errorf("blob: http has: %w", err)
+	}
+	resp, err := s.client.Do(req)
 	if err != nil {
 		return false, fmt.Errorf("blob: http has: %w", err)
 	}
@@ -113,7 +153,44 @@ func (s *HTTP) Has(ns string, key Key) (bool, error) {
 // PUT stores the body (idempotently; 204 on success). Mount it at the
 // server root — it routes by full path, so it composes with other
 // handlers on the same mux.
-func Handler(s Store) http.Handler {
+func Handler(s Store) http.Handler { return HandlerObs(s, nil) }
+
+// HandlerObs is Handler with server-side observability: every request
+// bumps a blob.http.<method> counter and observes a blob.http.<method>.ns
+// latency histogram, and requests carrying an X-Repro-Trace header (see
+// HTTP.SetTrace) additionally record one blob.<method> span tagged with
+// the namespace, key prefix, and remote trace context — so a traced
+// client's transfers are visible on the server's own timeline without
+// flooding the registry with a span per untraced request. A nil registry
+// is exactly Handler.
+func HandlerObs(s Store, reg *obs.Registry) http.Handler {
+	inner := blobMux(s)
+	if reg == nil {
+		return inner
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		method := strings.ToLower(r.Method)
+		start := time.Now()
+		var sp *obs.Span
+		if tc, ok := obs.ExtractTrace(r.Header); ok {
+			sp = reg.StartSpanLane("blob."+method, blobSpanLane)
+			sp.SetArg("path", strings.TrimPrefix(r.URL.Path, blobsPrefix))
+			sp.SetArg("remote", tc.String())
+		}
+		inner.ServeHTTP(w, r)
+		sp.End()
+		reg.Counter("blob.http." + method).Inc()
+		reg.Histogram("blob.http." + method + ".ns").Observe(time.Since(start))
+	})
+}
+
+// blobSpanLane keeps server-side blob spans off the job/worker lanes in
+// the exported trace.
+const blobSpanLane = 9
+
+// blobMux is the uninstrumented request handler behind Handler and
+// HandlerObs.
+func blobMux(s Store) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(blobsPrefix+"{ns}/{key}", func(w http.ResponseWriter, r *http.Request) {
 		ns := r.PathValue("ns")

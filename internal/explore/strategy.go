@@ -236,9 +236,17 @@ func (e *engine) evalBase() (*core.Evaluation, float64, error) {
 		return nil, 0, fmt.Errorf("explore: base candidate: %w", err)
 	}
 	s := e.score(eval)
+	e.setBestScore(s)
 	e.emit(Event{Kind: "base", Score: s, Scored: true, Eval: eval,
 		Line: fmt.Sprintf("base: score %.2f (%s)", s, oneLine(eval))})
 	return eval, s, nil
+}
+
+// setBestScore publishes the best score so far for the live dashboard.
+// Gauges are integers, so the score travels in fixed-point milli-units
+// (the dashboard divides the .milli suffix back out).
+func (e *engine) setBestScore(s float64) {
+	e.obs().Gauge("explore.best.score.milli").Set(int64(s * 1000))
 }
 
 // emitCacheStats publishes the per-iteration cache line.
@@ -368,6 +376,7 @@ func (HillClimb) run(e *engine) (*Result, error) {
 			Line: fmt.Sprintf("iter %d: ACCEPT %s (score %.2f -> %.2f)", iter, bestAction, curScore, bestScore)})
 		iterSpan.SetArg("accepted", bestAction)
 		iterSpan.End()
+		e.setBestScore(bestScore)
 		curSrc, curScore, curEval = bestSrc, bestScore, bestEval
 	}
 	res.Final = curEval

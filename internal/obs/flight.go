@@ -1,0 +1,128 @@
+package obs
+
+// FlightRecorder is the postmortem ring: a bounded buffer of the last N
+// completed spans, cheap enough to leave attached to a production
+// registry forever. When a daemon wedges, the ring answers "what were
+// the last things that finished, and when?" without a full trace export
+// — cmd/served and cmd/explore dump it on SIGQUIT and serve it at
+// /debug/flight.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder records the most recent completed spans into a fixed
+// ring. All methods on a nil recorder are no-ops, so the uninstrumented
+// path stays free.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	full  bool
+	total uint64
+	epoch time.Time
+}
+
+// NewFlightRecorder returns a recorder keeping the last capacity spans
+// (<= 0 means 256). Attach it with Registry.AttachFlight.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{ring: make([]SpanRecord, capacity)}
+}
+
+// AttachFlight wires f to receive every span the registry records from
+// now on. One recorder per registry; attaching replaces any previous
+// one. Nil registry or recorder is a no-op.
+func (r *Registry) AttachFlight(f *FlightRecorder) {
+	if r == nil || f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.epoch = r.epoch
+	f.mu.Unlock()
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
+
+// Record stores one finished span, evicting the oldest when full.
+func (f *FlightRecorder) Record(rec SpanRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = rec
+	f.next++
+	if f.next == len(f.ring) {
+		f.next, f.full = 0, true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Spans returns the recorded spans, oldest first.
+func (f *FlightRecorder) Spans() []SpanRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return append([]SpanRecord(nil), f.ring[:f.next]...)
+	}
+	out := make([]SpanRecord, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// Total returns how many spans have ever been recorded (not just the
+// ones still in the ring).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// flightDoc is the WriteJSON shape.
+type flightDoc struct {
+	Capacity int        `json:"capacity"`
+	Total    uint64     `json:"total"`
+	Spans    []WireSpan `json:"spans"`
+}
+
+// WriteJSON dumps the ring as one JSON document of WireSpans (absolute
+// wall-clock starts when the recorder is attached to a registry; epoch
+// offsets read as small absolute times otherwise). Oldest span first. A
+// nil recorder writes nothing and reports no error.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	epoch := f.epoch
+	f.mu.Unlock()
+	spans := f.Spans()
+	doc := flightDoc{Capacity: cap(f.ring), Total: f.Total(), Spans: make([]WireSpan, 0, len(spans))}
+	for _, s := range spans {
+		doc.Spans = append(doc.Spans, WireSpan{
+			Name:        s.Name,
+			ID:          s.ID,
+			Parent:      s.Parent,
+			Lane:        s.Lane,
+			StartUnixNs: epoch.Add(s.Start).UnixNano(),
+			DurNs:       s.Dur.Nanoseconds(),
+			Args:        s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}

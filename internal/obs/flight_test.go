@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(SpanRecord{Name: "x"}) // must not panic
+	if f.Spans() != nil {
+		t.Error("nil recorder Spans() != nil")
+	}
+	if f.Total() != 0 {
+		t.Error("nil recorder Total() != 0")
+	}
+	if err := f.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil recorder WriteJSON: %v", err)
+	}
+	var r *Registry
+	r.AttachFlight(NewFlightRecorder(4)) // nil registry: no-op
+	NewRegistry().AttachFlight(nil)      // nil recorder: no-op
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		f.Record(SpanRecord{Name: fmt.Sprintf("s%d", i), ID: uint64(i)})
+	}
+	if f.Total() != 5 {
+		t.Errorf("Total = %d, want 5", f.Total())
+	}
+	spans := f.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(spans))
+	}
+	for i, want := range []string{"s3", "s4", "s5"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d] = %s, want %s (oldest first)", i, spans[i].Name, want)
+		}
+	}
+}
+
+func TestFlightRecorderViaRegistry(t *testing.T) {
+	r := NewRegistry()
+	f := NewFlightRecorder(8)
+	r.AttachFlight(f)
+	sp := r.StartSpan("work")
+	sp.End()
+	if got := f.Spans(); len(got) != 1 || got[0].Name != "work" {
+		t.Fatalf("flight ring after one span = %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Capacity int        `json:"capacity"`
+		Total    uint64     `json:"total"`
+		Spans    []WireSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if doc.Capacity != 8 || doc.Total != 1 || len(doc.Spans) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+	// Attached to a registry, starts are absolute wall clock.
+	if start := time.Unix(0, doc.Spans[0].StartUnixNs); time.Since(start) > time.Minute {
+		t.Errorf("flight span start %v is not recent wall clock", start)
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	f := NewFlightRecorder(0)
+	for i := 0; i < 300; i++ {
+		f.Record(SpanRecord{ID: uint64(i)})
+	}
+	if got := len(f.Spans()); got != 256 {
+		t.Errorf("default capacity = %d, want 256", got)
+	}
+}

@@ -1,0 +1,254 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4), the fourth exporter: the
+// same registry state as WriteText/WriteMetricsJSON, rendered so an
+// off-the-shelf Prometheus can scrape cmd/served's /metrics?format=prom.
+// Counter names gain the conventional _total suffix; power-of-two
+// histogram buckets become cumulative `le` buckets whose upper bounds
+// are the bucket boundaries (2^b nanoseconds). CheckExposition is a
+// small dependency-free validator of the same format, used by the tests
+// and CI in place of promtool.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promName maps a registry metric name to a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit gains a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value. Prometheus accepts Go's shortest
+// float form.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	counters := r.Counters()
+	for _, name := range sortedNames(counters) {
+		n := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s %d\n", n, counters[name])
+	}
+	gauges := r.Gauges()
+	for _, name := range sortedNames(gauges) {
+		n := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(bw, "%s %d\n", n, gauges[name])
+	}
+	hists := r.Histograms()
+	for _, name := range sortedNames(hists) {
+		n := promName(name)
+		s := hists[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		// Emit cumulative le buckets up to the highest occupied one;
+		// an empty histogram contributes only the mandatory +Inf.
+		top := -1
+		for b, c := range s.Buckets {
+			if c > 0 {
+				top = b
+			}
+		}
+		cum := uint64(0)
+		for b := 0; b <= top; b++ {
+			cum += s.Buckets[b]
+			_, hi := bucketRange(b)
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", n, promFloat(hi), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, s.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(s.SumNs))
+		fmt.Fprintf(bw, "%s_count %d\n", n, s.Count)
+	}
+	return bw.Flush()
+}
+
+// CheckExposition validates that data is well-formed Prometheus text
+// exposition: every non-comment line is `name[{labels}] value`, metric
+// names are legal, values parse as floats, every sample belongs to a
+// family declared by a preceding # TYPE line with a known type, counter
+// samples end in _total, and histogram families carry consistent
+// cumulative buckets plus _sum and _count. Returns nil when valid.
+func CheckExposition(data []byte) error {
+	types := map[string]string{} // family name -> type
+	lastBucket := map[string]float64{}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, raw := range lines {
+		line := string(raw)
+		lineNo := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				return fmt.Errorf("line %d: comment is neither # TYPE nor # HELP: %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed # TYPE line: %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if !validPromName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		switch typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter sample %q should end in _total", lineNo, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %q is negative", lineNo, name)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: %s_bucket without le label", lineNo, family)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+				}
+				_ = bound
+				if prev, seen := lastBucket[family]; seen && value < prev {
+					return fmt.Errorf("line %d: histogram %q buckets are not cumulative", lineNo, family)
+				}
+				lastBucket[family] = value
+			case "_sum":
+			case "_count":
+				if prev, seen := lastBucket[family]; seen && value < prev {
+					return fmt.Errorf("line %d: histogram %q count below its largest bucket", lineNo, family)
+				}
+			default:
+				return fmt.Errorf("line %d: histogram family %q sample %q is not _bucket/_sum/_count", lineNo, family, name)
+			}
+		}
+	}
+	return nil
+}
+
+// validPromName reports whether s is a legal Prometheus metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample splits a sample line into name, labels and value.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unterminated label block: %q", line)
+		}
+		labels = map[string]string{}
+		for _, pair := range strings.Split(rest[i+1:j], ",") {
+			if pair == "" {
+				continue
+			}
+			k, v, found := strings.Cut(pair, "=")
+			if !found || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			labels[k] = v[1 : len(v)-1]
+		}
+		rest = rest[j+1:]
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			return "", nil, 0, fmt.Errorf("empty sample line")
+		}
+		name = fields[0]
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), name)
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("expected value after metric name: %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLe parses a histogram bucket bound ("+Inf" allowed).
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -83,12 +83,21 @@ func (s *Span) SetArg(key, value string) {
 	s.args[key] = value
 }
 
-// End finishes the span and records it in the registry.
+// ID returns the span's registry-local identity (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End finishes the span and records it in the registry (and the
+// registry's flight recorder, when one is attached).
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	rec := SpanRecord{
+	s.r.record(SpanRecord{
 		Name:   s.name,
 		ID:     s.id,
 		Parent: s.parent,
@@ -96,10 +105,7 @@ func (s *Span) End() {
 		Start:  s.start.Sub(s.r.epoch),
 		Dur:    time.Since(s.start),
 		Args:   s.args,
-	}
-	s.r.mu.Lock()
-	s.r.spans = append(s.r.spans, rec)
-	s.r.mu.Unlock()
+	})
 }
 
 // SetLaneName labels a lane for the trace export (rendered as the thread

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xdeadbeef12345678, SpanID: 42}
+	got, ok := ParseTraceContext(tc.String())
+	if !ok || got != tc {
+		t.Fatalf("ParseTraceContext(%q) = %v, %v; want %v, true", tc.String(), got, ok, tc)
+	}
+	h := http.Header{}
+	tc.Inject(h)
+	got, ok = ExtractTrace(h)
+	if !ok || got != tc {
+		t.Fatalf("ExtractTrace after Inject = %v, %v; want %v, true", got, ok, tc)
+	}
+}
+
+func TestParseTraceContextMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-trace",
+		"0000000000000000-0000000000000001",  // zero trace ID
+		"deadbeef12345678_0000000000000001",  // wrong separator
+		"deadbeef1234567-00000000000000012",  // dash in wrong place
+		"deadbeef12345678-000000000000001",   // too short
+		"deadbeef12345678-00000000000000012", // too long
+		"deadbeefXYZ45678-0000000000000001",  // bad hex
+	}
+	for _, s := range bad {
+		if tc, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) = %v, true; want ok=false", s, tc)
+		}
+	}
+}
+
+func TestTraceContextNilSafety(t *testing.T) {
+	var sp *Span
+	if tc := sp.Context(); tc.Valid() {
+		t.Errorf("nil span Context() = %v, want invalid", tc)
+	}
+	TraceContext{}.Inject(nil) // must not panic
+	if _, ok := ExtractTrace(nil); ok {
+		t.Error("ExtractTrace(nil) reported ok")
+	}
+	var r *Registry
+	if r.TraceID() != 0 {
+		t.Error("nil registry TraceID != 0")
+	}
+	if spans := r.ExportSubtrees(1, 2); spans != nil {
+		t.Errorf("nil registry ExportSubtrees = %v, want nil", spans)
+	}
+	if n := r.ImportSpans([]WireSpan{{Name: "x", ID: 1}}, nil, 0, nil); n != 0 {
+		t.Errorf("nil registry ImportSpans = %d, want 0", n)
+	}
+}
+
+func TestRegistryTraceIDNonZeroAndDistinct(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	if a.TraceID() == 0 || b.TraceID() == 0 {
+		t.Fatal("registry born with zero trace ID")
+	}
+	if a.TraceID() == b.TraceID() {
+		t.Fatal("two registries share a trace ID")
+	}
+}
+
+// TestExportImportMerge is the cross-process round trip in miniature:
+// a "daemon" registry records a queue-wait span and a job span with a
+// stage child; the wire spans are imported into a "client" registry
+// under its submit span; the merged trace must show the daemon spans as
+// descendants of the submit span, on shifted lanes, with fresh IDs.
+func TestExportImportMerge(t *testing.T) {
+	daemon := NewRegistry()
+	wait := daemon.StartSpanLane("queue-wait", 1)
+	wait.End()
+	jobSpan := daemon.StartSpan("job")
+	stage := jobSpan.Child("stage.compile")
+	stage.End()
+	jobSpan.End()
+	unrelated := daemon.StartSpan("unrelated")
+	unrelated.End()
+
+	wire := daemon.ExportSubtrees(wait.ID(), jobSpan.ID())
+	if len(wire) != 3 {
+		t.Fatalf("exported %d spans, want 3 (queue-wait, job, stage)", len(wire))
+	}
+	for _, w := range wire {
+		if w.Name == "unrelated" {
+			t.Fatal("unrelated span leaked into the subtree export")
+		}
+	}
+
+	client := NewRegistry()
+	submit := client.StartSpan("submit")
+	n := client.ImportSpans(wire, submit, 10, map[string]string{"daemon": "test"})
+	submit.End()
+	if n != 3 {
+		t.Fatalf("imported %d spans, want 3", n)
+	}
+
+	spans := client.Spans()
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	sub, ok := byName["submit"]
+	if !ok {
+		t.Fatal("submit span missing after import")
+	}
+	for _, name := range []string{"queue-wait", "job"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("imported span %q missing", name)
+		}
+		if s.Parent != sub.ID {
+			t.Errorf("%s parent = %d, want submit %d", name, s.Parent, sub.ID)
+		}
+		if s.Args["daemon"] != "test" {
+			t.Errorf("%s lost the extra arg: %v", name, s.Args)
+		}
+	}
+	st, ok := byName["stage.compile"]
+	if !ok {
+		t.Fatal("imported stage span missing")
+	}
+	if st.Parent != byName["job"].ID {
+		t.Errorf("stage parent = %d, want imported job %d (internal links preserved)", st.Parent, byName["job"].ID)
+	}
+	if byName["queue-wait"].Lane != 11 || byName["job"].Lane != 10 {
+		t.Errorf("lanes = %d/%d, want shifted by 10", byName["queue-wait"].Lane, byName["job"].Lane)
+	}
+	if st.ID == stage.ID() && byName["job"].ID == jobSpan.ID() {
+		t.Error("imported spans kept remote IDs; want fresh local IDs")
+	}
+}
+
+// TestImportSpansClockMapping: wall-clock starts land on the importing
+// registry's epoch, so a span recorded "now" imports near now.
+func TestImportSpansClockMapping(t *testing.T) {
+	r := NewRegistry()
+	w := WireSpan{Name: "x", ID: 1, StartUnixNs: time.Now().UnixNano(), DurNs: 1000}
+	r.ImportSpans([]WireSpan{w}, nil, 0, nil)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("have %d spans", len(spans))
+	}
+	if off := spans[0].Start; off < -time.Second || off > time.Minute {
+		t.Errorf("imported start offset %v is nowhere near the epoch", off)
+	}
+	if spans[0].Parent != 0 {
+		t.Errorf("orphan with nil parent got parent %d, want 0 (root)", spans[0].Parent)
+	}
+}
