@@ -6,7 +6,9 @@
 //
 // Usage:
 //
-//	explore -m spam2 -k kernel.k [-strategy hill|beam] [-beam 4]
+//	explore -m spam2 -k kernel.k [-strategy hill|beam|pareto] [-beam 4]
+//	        [-max-runtime us] [-max-area cells] [-max-power mw]
+//	        [-frontier-out frontier.json|frontier.csv] [-frontier-cap n]
 //	        [-restarts n] [-seed s] [-iters 8] [-workers n]
 //	        [-sim-backend interp|compiled|aot]
 //	        [-no-cache] [-cache-file c.json]
@@ -19,6 +21,13 @@
 //   - beam: keep the -beam best candidates alive per iteration and
 //     evaluate the union of their neighbours (deduplicated by canonical
 //     ISDL), escaping optima hill climbing stops at.
+//   - pareto: keep the whole non-dominated (run time, area, power)
+//     frontier instead of a scalar top-K, under optional hard constraints
+//     (-max-runtime/-max-area/-max-power; violating candidates are scored
+//     but never enter the frontier). One run answers every objective
+//     weighting; -frontier-out emits the trade-off curve as JSON or CSV
+//     (by extension) for plotting, and -frontier-cap bounds the frontier
+//     by deterministic crowding-distance truncation.
 //
 // -restarts n additionally re-runs the chosen strategy from n seeded
 // random perturbations of the base (deterministic for a fixed -seed) and
@@ -92,8 +101,13 @@ import (
 func main() {
 	machine := flag.String("m", "", "base machine: .isdl file or builtin (toy, spam, spam2)")
 	kernelFile := flag.String("k", "", "kernel-language workload file")
-	strategy := flag.String("strategy", "hill", "search strategy: hill (first local optimum) or beam (top-K frontier)")
+	strategy := flag.String("strategy", "hill", "search strategy: hill (first local optimum), beam (top-K frontier) or pareto (non-dominated frontier)")
 	beamWidth := flag.Int("beam", 4, "frontier width for -strategy beam")
+	maxRuntime := flag.Float64("max-runtime", 0, "pareto hard constraint: maximum run time in us (0 = unconstrained)")
+	maxArea := flag.Float64("max-area", 0, "pareto hard constraint: maximum die size in grid cells (0 = unconstrained)")
+	maxPower := flag.Float64("max-power", 0, "pareto hard constraint: maximum power in mW (0 = unconstrained)")
+	frontierOut := flag.String("frontier-out", "", "write the pareto frontier here as .json or .csv (by extension)")
+	frontierCap := flag.Int("frontier-cap", 0, "cap the pareto frontier by crowding-distance truncation (0 = unbounded)")
 	restarts := flag.Int("restarts", 0, "seeded random restarts around the chosen strategy (0 = none)")
 	seed := flag.Int64("seed", 1, "perturbation seed for -restarts (fixed seed = byte-identical run)")
 	iters := flag.Int("iters", 8, "maximum improvement iterations (per restart)")
@@ -116,8 +130,31 @@ func main() {
 	flightCap := flag.Int("flight", 256, "flight-recorder capacity (last N completed spans)")
 	flag.Parse()
 	if *machine == "" || *kernelFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: explore -m <machine> -k <kernel.k> [-strategy hill|beam] [-beam w] [-restarts n] [-seed s] [-iters n] [-o best.isdl]")
+		fmt.Fprintln(os.Stderr, "usage: explore -m <machine> -k <kernel.k> [-strategy hill|beam|pareto] [-beam w] [-max-area a -max-power p -frontier-out f.json] [-restarts n] [-seed s] [-iters n] [-o best.isdl]")
 		os.Exit(2)
+	}
+	// Reject a meaningless objective before any evaluation runs: NaN,
+	// negative or all-zero weights would otherwise silently score every
+	// candidate into an accept test that never fires.
+	weights := explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow}
+	if err := weights.Validate(); err != nil {
+		fatal(err)
+	}
+	constraints := explore.Constraints{MaxRuntimeUs: *maxRuntime, MaxArea: *maxArea, MaxPowerMW: *maxPower}
+	if err := constraints.Validate(); err != nil {
+		fatal(err)
+	}
+	if *strategy != "pareto" {
+		if constraints.Active() {
+			fatal(fmt.Errorf("-max-runtime/-max-area/-max-power require -strategy pareto"))
+		}
+		if *frontierOut != "" {
+			fatal(fmt.Errorf("-frontier-out requires -strategy pareto"))
+		}
+	}
+	frontierWriter, err := frontierWriterFor(*frontierOut)
+	if err != nil {
+		fatal(err) // bad extension: fail before the run, not after
 	}
 	baseSrc, err := loadSource(*machine)
 	if err != nil {
@@ -190,7 +227,7 @@ func main() {
 	}
 
 	opts := []explore.Option{
-		explore.WithWeights(explore.Weights{Runtime: *wRun, Area: *wArea, Power: *wPow}),
+		explore.WithWeights(weights),
 		explore.WithMaxIters(*iters),
 		explore.WithWorkers(*workers),
 		explore.WithLog(func(ev explore.Event) { fmt.Println(ev.Line) }),
@@ -206,8 +243,10 @@ func main() {
 		// The default HillClimb strategy.
 	case "beam":
 		opts = append(opts, explore.WithBeam(*beamWidth))
+	case "pareto":
+		opts = append(opts, explore.WithPareto(*frontierCap, constraints))
 	default:
-		fatal(fmt.Errorf("unknown -strategy %q (want hill or beam)", *strategy))
+		fatal(fmt.Errorf("unknown -strategy %q (want hill, beam or pareto)", *strategy))
 	}
 	if *restarts > 0 {
 		opts = append(opts, explore.WithRestarts(*restarts, *seed))
@@ -239,12 +278,34 @@ func main() {
 			fmt.Printf("saved stage cache %s (%d artifacts)\n", *cacheFile, cache.Stages().Len())
 		}
 	}
+	if *frontierOut != "" {
+		if err := atomicfile.WriteTo(*frontierOut, 0o644, func(w io.Writer) error {
+			return frontierWriter(w, res.Frontier)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote frontier %s (%d points)\n", *frontierOut, len(res.Frontier))
+	}
 	if *out != "" {
 		if err := atomicfile.WriteFile(*out, []byte(res.FinalSource), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// frontierWriterFor picks the -frontier-out serializer by file extension
+// (nil name = no output requested).
+func frontierWriterFor(name string) (func(io.Writer, []explore.FrontierPoint) error, error) {
+	switch {
+	case name == "":
+		return nil, nil
+	case strings.HasSuffix(name, ".json"):
+		return explore.WriteFrontierJSON, nil
+	case strings.HasSuffix(name, ".csv"):
+		return explore.WriteFrontierCSV, nil
+	}
+	return nil, fmt.Errorf("-frontier-out %q: want a .json or .csv name", name)
 }
 
 // writeFileWith streams one of the registry exporters into a file,

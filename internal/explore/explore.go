@@ -7,8 +7,10 @@
 // (internal/core), and keeps the best candidates according to the
 // configured search Strategy: HillClimb (the paper's loop — accept the
 // best improving move, stop at the first local optimum), Beam (keep a
-// top-K frontier alive per iteration) or Restarts (re-run an inner
-// strategy from seeded random perturbations of the base).
+// top-K frontier alive per iteration), Pareto (keep the non-dominated
+// (run time, area, power) frontier under optional hard constraints — one
+// run answers every weighting) or Restarts (re-run an inner strategy from
+// seeded random perturbations of the base).
 //
 // The entry point is New with functional options:
 //
@@ -29,6 +31,7 @@ package explore
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -47,6 +50,29 @@ type Weights struct {
 // embedded targets do: run time first, then silicon, then power.
 func DefaultWeights() Weights { return Weights{Runtime: 1, Area: 0.5, Power: 0.2} }
 
+// Validate rejects weights that produce a meaningless objective: NaN or
+// infinite components poison every score comparison (NaN compares false
+// against everything, so nothing is ever "accepted"), negative weights
+// reward cost, and all-zero weights score every candidate 0.0. Config.Run
+// calls this before exploring; cmd/explore checks at flag-parse time.
+func (w Weights) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"runtime", w.Runtime}, {"area", w.Area}, {"power", w.Power}} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("explore: invalid %s weight %v (must be finite)", c.name, c.v)
+		}
+		if c.v < 0 {
+			return fmt.Errorf("explore: invalid %s weight %v (must be >= 0)", c.name, c.v)
+		}
+	}
+	if w.Runtime == 0 && w.Area == 0 && w.Power == 0 {
+		return fmt.Errorf("explore: all-zero weights score every candidate 0.0; set at least one weight > 0")
+	}
+	return nil
+}
+
 // Step records one accepted or rejected exploration move.
 type Step struct {
 	Iter int
@@ -56,6 +82,11 @@ type Step struct {
 	Eval     *core.Evaluation
 	Score    float64
 	Accepted bool
+	// Infeasible, when non-empty, says why a scored candidate could not
+	// be accepted regardless of its Score — e.g. "constraint: area,
+	// power" for a Pareto candidate over a hard bound. Accepted is always
+	// false for such steps.
+	Infeasible string
 }
 
 // Result is the outcome of an exploration run.
@@ -68,6 +99,11 @@ type Result struct {
 	// Restarts reports each restart's best when the run used the Restarts
 	// strategy (nil otherwise). Final/FinalSource are the global winner.
 	Restarts []RestartResult
+	// Frontier is the non-dominated (run time, area, power) trade-off
+	// curve when the run used the Pareto strategy (nil otherwise), in
+	// ascending-runtime order. Final/FinalSource then hold the scalar-best
+	// frontier point under the run's Weights.
+	Frontier []FrontierPoint
 }
 
 // Event is one structured exploration log record. Kind says what
@@ -87,8 +123,10 @@ type Event struct {
 	// infeasible and accept events) or the perturbation (restart events).
 	Action string
 	// Score is the objective value. It is meaningful only when Scored is
-	// true: an infeasible candidate has no score, and its zero Score must
-	// not be read as "free" by JSON log consumers.
+	// true: a candidate the pipeline rejected has no score, and its zero
+	// Score must not be read as "free" by JSON log consumers. An
+	// infeasible event with Scored true is a Pareto candidate that
+	// evaluated fine but violates a hard constraint (Err says which).
 	Score float64
 	// Scored reports whether Score carries a real objective value (base,
 	// candidate and accept events).
@@ -99,8 +137,9 @@ type Event struct {
 	Eval *core.Evaluation
 	// Err says why the candidate was infeasible (infeasible events).
 	Err error
-	// Frontier lists the surviving frontier's scores, best first
-	// (frontier events, Beam strategy only).
+	// Frontier lists the surviving frontier's scalar scores (frontier
+	// events): best first under Beam, canonical curve order (ascending
+	// run time) under Pareto.
 	Frontier []float64
 	// Line is the formatted log line.
 	Line string
@@ -113,8 +152,9 @@ type Event struct {
 // struct predates. Explorer remains for one release of grace as a thin
 // wrapper over Config and produces results identical to
 // New(base, kernel, WithWeights(e.Weights), ...).Run() with a HillClimb
-// strategy; note New defaults Weights to DefaultWeights() while this
-// struct's zero value scores everything 0.
+// strategy. A zero-value Weights defaults to DefaultWeights() exactly like
+// New (it used to score every candidate 0.0, the all-zero shape
+// Weights.Validate now rejects).
 type Explorer struct {
 	// Base is the starting ISDL description source.
 	Base string
@@ -141,10 +181,14 @@ type Explorer struct {
 
 // Run explores from the base description by hill climbing.
 func (e *Explorer) Run() (*Result, error) {
+	w := e.Weights
+	if w == (Weights{}) {
+		w = DefaultWeights()
+	}
 	cfg := &Config{
 		Base:      e.Base,
 		Kernel:    e.Kernel,
-		Weights:   e.Weights,
+		Weights:   w,
 		Evaluator: e.Evaluator,
 		MaxIters:  e.MaxIters,
 		Workers:   e.Workers,
@@ -298,7 +342,17 @@ func (r *Result) Report() string {
 			fmt.Fprintf(&sb, "restart %d (%s): infeasible: %v\n", rr.Index, rr.Perturbation, rr.Err)
 			continue
 		}
-		fmt.Fprintf(&sb, "restart %d (%s): best score %.2f  %s\n", rr.Index, rr.Perturbation, rr.Score, oneLine(rr.Eval))
+		mark := ""
+		if rr.Winner {
+			mark = "  <- winner"
+		}
+		fmt.Fprintf(&sb, "restart %d (%s): best score %.2f  %s%s\n", rr.Index, rr.Perturbation, rr.Score, oneLine(rr.Eval), mark)
+	}
+	if len(r.Frontier) > 0 {
+		fmt.Fprintf(&sb, "frontier (%d non-dominated points, fastest first):\n", len(r.Frontier))
+		for i, p := range r.Frontier {
+			fmt.Fprintf(&sb, "  %2d. %s\n", i+1, frontierLine(p))
+		}
 	}
 	fmt.Fprintf(&sb, "final:   %s\n", oneLine(r.Final))
 	return sb.String()

@@ -1,0 +1,266 @@
+package explore
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// FrontierPoint is one non-dominated design point on the (run time, area,
+// power) trade-off curve a Pareto run reports (Result.Frontier). Points
+// are ordered by ascending RuntimeUs, so the slice reads as the curve from
+// the fastest architecture to the cheapest.
+type FrontierPoint struct {
+	// Action is the mutation that produced the point ("base" for the
+	// starting description).
+	Action string
+	// Source is the point's canonical ISDL text.
+	Source string
+	// Eval is the point's full evaluation.
+	Eval *core.Evaluation
+	// Score is the scalar objective under the run's Weights — reporting
+	// only; the frontier itself is selected by dominance, not by Score.
+	Score float64
+	// Dominated counts the feasible scored candidates of the run this
+	// point dominates (its "coverage" of the explored space). Under
+	// Restarts the count is relative to the restart that produced the
+	// point.
+	Dominated int
+	// Binding lists the constraints this point consumes at least 95% of
+	// ("runtime", "area", "power") — the budgets that effectively pin it.
+	Binding []string
+}
+
+// dominates reports whether a is no worse than b on every objective —
+// run time, area, power, all minimized — and strictly better on at least
+// one. Equal points do not dominate each other; the frontier keeps only
+// the first of an equal pair (insertion order), so duplicates never
+// inflate the curve.
+func dominates(a, b *core.Evaluation) bool {
+	if a.RuntimeUs > b.RuntimeUs || a.AreaCells > b.AreaCells || a.PowerMW > b.PowerMW {
+		return false
+	}
+	return a.RuntimeUs < b.RuntimeUs || a.AreaCells < b.AreaCells || a.PowerMW < b.PowerMW
+}
+
+// sameObjectives reports whether two evaluations are exactly equal on all
+// three objectives.
+func sameObjectives(a, b *core.Evaluation) bool {
+	return a.RuntimeUs == b.RuntimeUs && a.AreaCells == b.AreaCells && a.PowerMW == b.PowerMW
+}
+
+// paretoCand is one frontier member during a Pareto run.
+type paretoCand struct {
+	action string
+	src    string
+	eval   *core.Evaluation
+	score  float64
+	// seq is the global insertion sequence, the final determinism
+	// tie-break everywhere objective values are exactly equal.
+	seq int
+}
+
+// insertNonDominated adds cand to the frontier iff no member dominates or
+// equals it, removing every member cand dominates. The scan runs in slice
+// order and the result depends only on the insertion sequence, never on
+// evaluation timing, so the frontier is bit-identical across worker
+// counts. Returns the new frontier and whether cand entered.
+func insertNonDominated(frontier []paretoCand, cand paretoCand) ([]paretoCand, bool) {
+	for _, f := range frontier {
+		if dominates(f.eval, cand.eval) || sameObjectives(f.eval, cand.eval) {
+			return frontier, false
+		}
+	}
+	kept := frontier[:0]
+	for _, f := range frontier {
+		if !dominates(cand.eval, f.eval) {
+			kept = append(kept, f)
+		}
+	}
+	return append(kept, cand), true
+}
+
+// sortFrontier puts the frontier in its canonical order: ascending run
+// time, then area, then power, then insertion sequence. Every run and
+// worker count sees identical values, so the order is deterministic.
+func sortFrontier(frontier []paretoCand) {
+	sort.SliceStable(frontier, func(i, j int) bool {
+		a, b := frontier[i], frontier[j]
+		if a.eval.RuntimeUs != b.eval.RuntimeUs {
+			return a.eval.RuntimeUs < b.eval.RuntimeUs
+		}
+		if a.eval.AreaCells != b.eval.AreaCells {
+			return a.eval.AreaCells < b.eval.AreaCells
+		}
+		if a.eval.PowerMW != b.eval.PowerMW {
+			return a.eval.PowerMW < b.eval.PowerMW
+		}
+		return a.seq < b.seq
+	})
+}
+
+// truncateCrowding caps the frontier at width members by NSGA-II crowding
+// distance: boundary points on each objective are infinitely crowded-out
+// protected, interior points keep the largest normalized gap sum, and
+// exact distance ties fall back to insertion sequence — a fully
+// deterministic rule, so truncation never breaks bit-identity.
+func truncateCrowding(frontier []paretoCand, width int) []paretoCand {
+	if width <= 0 || len(frontier) <= width {
+		return frontier
+	}
+	dist := make(map[int]float64, len(frontier)) // seq -> crowding distance
+	idx := make([]int, len(frontier))
+	for i := range frontier {
+		idx[i] = i
+	}
+	for _, obj := range []func(*core.Evaluation) float64{
+		func(e *core.Evaluation) float64 { return e.RuntimeUs },
+		func(e *core.Evaluation) float64 { return e.AreaCells },
+		func(e *core.Evaluation) float64 { return e.PowerMW },
+	} {
+		sort.SliceStable(idx, func(i, j int) bool {
+			a, b := frontier[idx[i]], frontier[idx[j]]
+			if obj(a.eval) != obj(b.eval) {
+				return obj(a.eval) < obj(b.eval)
+			}
+			return a.seq < b.seq
+		})
+		lo, hi := obj(frontier[idx[0]].eval), obj(frontier[idx[len(idx)-1]].eval)
+		span := hi - lo
+		dist[frontier[idx[0]].seq] = math.Inf(1)
+		dist[frontier[idx[len(idx)-1]].seq] = math.Inf(1)
+		if span == 0 {
+			continue
+		}
+		for i := 1; i < len(idx)-1; i++ {
+			seq := frontier[idx[i]].seq
+			if math.IsInf(dist[seq], 1) {
+				continue
+			}
+			gap := (obj(frontier[idx[i+1]].eval) - obj(frontier[idx[i-1]].eval)) / span
+			dist[seq] += gap
+		}
+	}
+	byCrowd := append([]paretoCand(nil), frontier...)
+	sort.SliceStable(byCrowd, func(i, j int) bool {
+		di, dj := dist[byCrowd[i].seq], dist[byCrowd[j].seq]
+		if di != dj {
+			return di > dj // most isolated first
+		}
+		return byCrowd[i].seq < byCrowd[j].seq
+	})
+	kept := byCrowd[:width]
+	out := append([]paretoCand(nil), kept...)
+	sortFrontier(out)
+	return out
+}
+
+// mergeFrontiers folds several runs' frontier points (in the order given)
+// into one non-dominated set with the same earliest-wins duplicate rule
+// as a single run, returned in canonical curve order. Restarts uses it to
+// combine per-restart Pareto frontiers.
+func mergeFrontiers(pts []FrontierPoint) []FrontierPoint {
+	var frontier []paretoCand
+	for i, p := range pts {
+		frontier, _ = insertNonDominated(frontier, paretoCand{
+			action: p.Action, src: p.Source, eval: p.Eval, score: p.Score, seq: i,
+		})
+	}
+	sortFrontier(frontier)
+	out := make([]FrontierPoint, len(frontier))
+	for i, f := range frontier {
+		out[i] = pts[f.seq]
+	}
+	return out
+}
+
+// frontierJSONPoint is the serialized form of one frontier point
+// (docs/EXPLORE.md "Frontier output schema").
+type frontierJSONPoint struct {
+	Action    string   `json:"action"`
+	RuntimeUs float64  `json:"runtime_us"`
+	AreaCells float64  `json:"area_cells"`
+	PowerMW   float64  `json:"power_mw"`
+	Cycles    uint64   `json:"cycles"`
+	CycleNs   float64  `json:"cycle_ns"`
+	EnergyUJ  float64  `json:"energy_uj"`
+	Score     float64  `json:"score"`
+	Dominated int      `json:"dominated"`
+	Binding   []string `json:"binding"`
+	Source    string   `json:"source"`
+}
+
+// WriteFrontierJSON writes the frontier as a JSON document:
+// {"points": [...]} with one object per point carrying the objective
+// values, the scalar score under the run's weights, the dominated count,
+// the binding constraints and the full ISDL source.
+func WriteFrontierJSON(w io.Writer, pts []FrontierPoint) error {
+	doc := struct {
+		Points []frontierJSONPoint `json:"points"`
+	}{Points: make([]frontierJSONPoint, len(pts))}
+	for i, p := range pts {
+		binding := p.Binding
+		if binding == nil {
+			binding = []string{}
+		}
+		doc.Points[i] = frontierJSONPoint{
+			Action:    p.Action,
+			RuntimeUs: p.Eval.RuntimeUs,
+			AreaCells: p.Eval.AreaCells,
+			PowerMW:   p.Eval.PowerMW,
+			Cycles:    p.Eval.Cycles,
+			CycleNs:   p.Eval.CycleNs,
+			EnergyUJ:  p.Eval.EnergyUJ,
+			Score:     p.Score,
+			Dominated: p.Dominated,
+			Binding:   binding,
+			Source:    p.Source,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteFrontierCSV writes the frontier as CSV with a header row. The ISDL
+// source is omitted (it is multi-line); binding constraints are joined
+// with "|". Column order is fixed and part of the output schema.
+func WriteFrontierCSV(w io.Writer, pts []FrontierPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"runtime_us", "area_cells", "power_mw", "cycles", "cycle_ns",
+		"energy_uj", "score", "dominated", "binding", "action",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			f(p.Eval.RuntimeUs), f(p.Eval.AreaCells), f(p.Eval.PowerMW),
+			strconv.FormatUint(p.Eval.Cycles, 10), f(p.Eval.CycleNs),
+			f(p.Eval.EnergyUJ), f(p.Score), strconv.Itoa(p.Dominated),
+			strings.Join(p.Binding, "|"), p.Action,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// frontierLine renders the one-line log form of a frontier point.
+func frontierLine(p FrontierPoint) string {
+	binding := ""
+	if len(p.Binding) > 0 {
+		binding = " [" + strings.Join(p.Binding, ",") + "]"
+	}
+	return fmt.Sprintf("score %8.2f  %s%s  dominates %d  (%s)",
+		p.Score, oneLine(p.Eval), binding, p.Dominated, p.Action)
+}

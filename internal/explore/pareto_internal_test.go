@@ -1,0 +1,219 @@
+package explore
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func ev(runtime, area, power float64) *core.Evaluation {
+	return &core.Evaluation{RuntimeUs: runtime, AreaCells: area, PowerMW: power}
+}
+
+func TestDominates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b *core.Evaluation
+		want bool
+	}{
+		{"strictly better everywhere", ev(1, 1, 1), ev(2, 2, 2), true},
+		{"better on one axis only", ev(1, 2, 2), ev(2, 2, 2), true},
+		{"equal points never dominate", ev(2, 2, 2), ev(2, 2, 2), false},
+		{"worse on one axis", ev(1, 3, 1), ev(2, 2, 2), false},
+		{"incomparable", ev(1, 3, 1), ev(3, 1, 1), false},
+		{"equal on two axes, better on third", ev(2, 2, 1), ev(2, 2, 2), true},
+	} {
+		if got := dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: dominates = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestInsertNonDominated covers the frontier bookkeeping edge cases: exact
+// duplicates collapse to the earliest point, equal-on-one-axis points
+// coexist when incomparable, and a dominating insert evicts every point it
+// covers.
+func TestInsertNonDominated(t *testing.T) {
+	var frontier []paretoCand
+	add := func(e *core.Evaluation, seq int) bool {
+		var ok bool
+		frontier, ok = insertNonDominated(frontier, paretoCand{eval: e, seq: seq})
+		return ok
+	}
+	if !add(ev(2, 2, 2), 0) {
+		t.Fatal("first point rejected")
+	}
+	// Exact duplicate: rejected, earliest wins.
+	if add(ev(2, 2, 2), 1) {
+		t.Error("duplicate point entered the frontier")
+	}
+	// Equal on one axis, incomparable on the rest: both stay.
+	if !add(ev(2, 1, 3), 2) {
+		t.Error("incomparable point rejected")
+	}
+	if len(frontier) != 2 {
+		t.Fatalf("frontier size %d, want 2", len(frontier))
+	}
+	// Dominated insert: rejected.
+	if add(ev(3, 2, 2), 3) {
+		t.Error("dominated point entered the frontier")
+	}
+	// Dominating insert: evicts both members.
+	if !add(ev(1, 1, 1), 4) {
+		t.Error("dominating point rejected")
+	}
+	if len(frontier) != 1 || frontier[0].seq != 4 {
+		t.Fatalf("dominating insert left frontier %+v", frontier)
+	}
+}
+
+func TestSortFrontierCanonicalOrder(t *testing.T) {
+	frontier := []paretoCand{
+		{eval: ev(2, 1, 1), seq: 0},
+		{eval: ev(1, 3, 1), seq: 1},
+		{eval: ev(1, 2, 2), seq: 2},
+		{eval: ev(1, 2, 1), seq: 3},
+	}
+	sortFrontier(frontier)
+	want := []int{3, 2, 1, 0} // runtime, then area, then power
+	for i, w := range want {
+		if frontier[i].seq != w {
+			t.Fatalf("position %d: seq %d, want %d (frontier %+v)", i, frontier[i].seq, w, frontier)
+		}
+	}
+}
+
+// TestTruncateCrowding: the cap keeps the objective-space extremes and
+// drops the most crowded interior point, deterministically.
+func TestTruncateCrowding(t *testing.T) {
+	frontier := []paretoCand{
+		{eval: ev(1, 10, 1), seq: 0},  // runtime extreme
+		{eval: ev(2, 8, 1.1), seq: 1}, // close to seq 0's corner
+		{eval: ev(2.1, 7.9, 1.2), seq: 2},
+		{eval: ev(6, 5, 2), seq: 3},  // isolated middle
+		{eval: ev(10, 1, 3), seq: 4}, // area extreme
+	}
+	sortFrontier(frontier)
+	out := truncateCrowding(frontier, 4)
+	if len(out) != 4 {
+		t.Fatalf("truncated size %d, want 4", len(out))
+	}
+	kept := map[int]bool{}
+	for _, f := range out {
+		kept[f.seq] = true
+	}
+	for _, extreme := range []int{0, 4} {
+		if !kept[extreme] {
+			t.Errorf("extreme point seq %d dropped: %v", extreme, kept)
+		}
+	}
+	if !kept[3] {
+		t.Errorf("isolated point seq 3 dropped: %v", kept)
+	}
+	// Unbounded or under-cap: untouched.
+	if got := truncateCrowding(frontier, 0); len(got) != len(frontier) {
+		t.Error("width 0 must not truncate")
+	}
+	if got := truncateCrowding(frontier, 10); len(got) != len(frontier) {
+		t.Error("width above size must not truncate")
+	}
+}
+
+// TestConstraintsEdges pins the bound semantics: exactly at the bound is
+// feasible (the constraint is <=), just over violates, zero disables.
+func TestConstraintsEdges(t *testing.T) {
+	c := Constraints{MaxArea: 100, MaxPowerMW: 2}
+	if v := c.Violations(ev(1e9, 100, 2)); len(v) != 0 {
+		t.Errorf("point exactly at both bounds flagged: %v", v)
+	}
+	if v := c.Violations(ev(1, 100.0001, 2.0001)); len(v) != 2 || v[0] != "area" || v[1] != "power" {
+		t.Errorf("violations = %v, want [area power]", v)
+	}
+	if v := (Constraints{}).Violations(ev(1e18, 1e18, 1e18)); len(v) != 0 {
+		t.Errorf("inactive constraints flagged: %v", v)
+	}
+	if !c.Active() || (Constraints{}).Active() {
+		t.Error("Active() wrong")
+	}
+	// Binding: >= 95% of a budget.
+	if b := c.Binding(ev(1, 96, 1)); len(b) != 1 || b[0] != "area" {
+		t.Errorf("binding = %v, want [area]", b)
+	}
+	if b := c.Binding(ev(1, 94, 1.89)); len(b) != 0 {
+		t.Errorf("binding = %v, want none", b)
+	}
+	// Invalid bounds are rejected before any evaluation runs.
+	for _, bad := range []Constraints{
+		{MaxArea: math.NaN()},
+		{MaxPowerMW: math.Inf(1)},
+		{MaxRuntimeUs: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestWeightsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    Weights
+		ok   bool
+	}{
+		{"defaults", DefaultWeights(), true},
+		{"single axis", Weights{Runtime: 1}, true},
+		{"NaN", Weights{Runtime: math.NaN()}, false},
+		{"Inf", Weights{Runtime: 1, Area: math.Inf(1)}, false},
+		{"negative", Weights{Runtime: 1, Power: -0.1}, false},
+		{"all zero", Weights{}, false},
+	} {
+		err := tc.w.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestScoreCheckedRejectsNonFinite: a NaN anywhere in the objective path
+// compares false against every bound (so `s < best` silently rejects
+// forever) and makes sort.SliceStable order unpredictably; the engine must
+// turn it into an explicit infeasible verdict instead.
+func TestScoreCheckedRejectsNonFinite(t *testing.T) {
+	e := &engine{cfg: &Config{Weights: DefaultWeights()}}
+	if _, err := e.scoreChecked(ev(1, 2, 3)); err != nil {
+		t.Fatalf("finite evaluation rejected: %v", err)
+	}
+	for _, bad := range []*core.Evaluation{
+		ev(math.NaN(), 2, 3),
+		ev(1, math.NaN(), 3),
+		ev(1, 2, math.NaN()),
+		ev(math.Inf(1), 2, 3),
+		ev(1, math.Inf(-1), 3),
+	} {
+		if _, err := e.scoreChecked(bad); err == nil {
+			t.Errorf("non-finite evaluation %+v accepted", bad)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("verdict %q does not name the non-finite figure", err)
+		}
+	}
+}
+
+// TestMergeFrontiers: restart frontiers fold into one non-dominated set
+// with the earliest-wins duplicate rule, in canonical curve order.
+func TestMergeFrontiers(t *testing.T) {
+	merged := mergeFrontiers([]FrontierPoint{
+		{Action: "r0-a", Eval: ev(1, 10, 1)},
+		{Action: "r0-b", Eval: ev(5, 5, 1)},
+		{Action: "r1-dup", Eval: ev(1, 10, 1)},  // duplicate of r0-a
+		{Action: "r1-dom", Eval: ev(4, 4, 0.9)}, // dominates r0-b
+		{Action: "r1-worse", Eval: ev(6, 11, 2)},
+	})
+	if len(merged) != 2 {
+		t.Fatalf("merged %d points, want 2: %+v", len(merged), merged)
+	}
+	if merged[0].Action != "r0-a" || merged[1].Action != "r1-dom" {
+		t.Errorf("merged curve = [%s %s], want [r0-a r1-dom]", merged[0].Action, merged[1].Action)
+	}
+}

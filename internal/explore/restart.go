@@ -16,8 +16,10 @@ import (
 // drawn from one rand source seeded with Seed, so a run is byte-identical
 // for a fixed (base, kernel, N, Seed) no matter how many workers evaluate
 // candidates. The combined Result carries every restart's best
-// (Result.Restarts) and the global winner (Final/FinalSource; score ties
-// go to the earlier restart).
+// (Result.Restarts, the global winner flagged Winner) and the winner's
+// Final/FinalSource (score ties go to the earlier restart); when the
+// inner strategy is Pareto, the per-restart frontiers are additionally
+// merged into one combined non-dominated curve (Result.Frontier).
 type Restarts struct {
 	// N is the number of perturbed restarts beyond the base run.
 	N int
@@ -48,7 +50,16 @@ func (r Restarts) run(e *engine) (*Result, error) {
 	rnd := rand.New(rand.NewSource(r.Seed))
 	combined := &Result{}
 	base := e.base
-	var best *RestartResult
+	// bestIdx indexes combined.Restarts. It must be an index, not a
+	// pointer into the slice: append reallocates the backing array as it
+	// grows, and a *RestartResult taken before a reallocation aliases the
+	// stale copy — reads still happen to work (the values were copied),
+	// but any write through it (the Winner mark below) silently lands in
+	// the dead array (TestRestartsWinnerSurvivesReallocation).
+	bestIdx := -1
+	// frontiers collects per-restart Pareto frontiers for the merged
+	// combined curve (empty unless the inner strategy is Pareto).
+	var frontiers []FrontierPoint
 	// Restarts run sequentially: each inner run owns the whole worker
 	// pool, and the shared stage cache carries evaluations from one
 	// restart to the next (perturbed bases share most of their stages).
@@ -102,23 +113,29 @@ func (r Restarts) run(e *engine) (*Result, error) {
 		}
 		combined.Restarts = append(combined.Restarts, rr)
 		combined.Steps = append(combined.Steps, res.Steps...)
+		frontiers = append(frontiers, res.Frontier...)
 		if i == 0 {
 			combined.Initial = res.Initial
 		}
-		if best == nil || score < best.Score {
-			best = &combined.Restarts[len(combined.Restarts)-1]
+		if bestIdx < 0 || score < combined.Restarts[bestIdx].Score {
+			bestIdx = len(combined.Restarts) - 1
 		}
 		e.emit(Event{Kind: "candidate", Iter: 0, Action: "restart " + strconv.Itoa(i) + " best",
 			Score: score, Scored: true, Eval: res.Final,
 			Line: fmt.Sprintf("restart %d: best score %.2f (%s)", i, score, oneLine(res.Final))})
 	}
 	e.restart = 0
-	if best == nil {
+	if bestIdx < 0 {
 		// Unreachable: restart 0 either succeeded or returned above.
 		return nil, fmt.Errorf("explore: no feasible restart")
 	}
+	best := combined.Restarts[bestIdx]
+	combined.Restarts[bestIdx].Winner = true
 	combined.Final = best.Eval
 	combined.FinalSource = best.Source
+	if len(frontiers) > 0 {
+		combined.Frontier = mergeFrontiers(frontiers)
+	}
 	e.emit(Event{Kind: "stop", Iter: 0, Score: best.Score, Scored: true,
 		Line: fmt.Sprintf("restarts done: global best %.2f from restart %d", best.Score, best.Index)})
 	return combined, nil
@@ -137,6 +154,10 @@ type RestartResult struct {
 	Eval *core.Evaluation
 	// Source is the restart's best candidate as ISDL text.
 	Source string
+	// Winner marks the restart whose best became the run's global
+	// Final/FinalSource (exactly one on a successful run; score ties go
+	// to the earlier restart).
+	Winner bool
 	// Err is set when the perturbed base was infeasible for the kernel.
 	Err error
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
@@ -14,8 +15,10 @@ import (
 // Strategy decides how the exploration loop walks the design space. The
 // shipped strategies are HillClimb (accept the best improving neighbour,
 // stop at the first local optimum), Beam (keep the top-K frontier alive
-// each iteration) and Restarts (run an inner strategy from seeded random
-// perturbations of the base). All strategies evaluate candidates through
+// each iteration), Pareto (keep the non-dominated (run time, area, power)
+// frontier under optional hard constraints) and Restarts (run an inner
+// strategy from seeded random perturbations of the base). All strategies
+// evaluate candidates through
 // the same move-order-deterministic worker pool and staged pipeline, so
 // results are bit-identical across Workers settings.
 //
@@ -111,6 +114,13 @@ func WithStrategy(s Strategy) Option { return func(c *Config) { c.Strategy = s }
 // WithBeam selects beam search with the given frontier width.
 func WithBeam(width int) Option { return func(c *Config) { c.Strategy = Beam{Width: width} } }
 
+// WithPareto selects Pareto-frontier search under the given hard
+// constraints (zero-value Constraints = unconstrained) with an optional
+// frontier cap (0 = unbounded).
+func WithPareto(width int, cons Constraints) Option {
+	return func(c *Config) { c.Strategy = Pareto{Width: width, Constraints: cons} }
+}
+
 // WithRestarts adds n seeded random restarts around whichever strategy is
 // configured (order relative to WithBeam/WithStrategy does not matter):
 // restart 0 runs from the unperturbed base, restarts 1..n from bases
@@ -137,6 +147,9 @@ func (c *Config) strategy() Strategy {
 
 // Run explores from the base description with the configured strategy.
 func (c *Config) Run() (*Result, error) {
+	if err := c.Weights.Validate(); err != nil {
+		return nil, err
+	}
 	return c.strategy().run(newEngine(c))
 }
 
@@ -216,6 +229,29 @@ func (e *engine) score(ev *core.Evaluation) float64 {
 	return ev.Score(e.cfg.Weights.Runtime, e.cfg.Weights.Area, e.cfg.Weights.Power)
 }
 
+// scoreChecked folds an evaluation into the scalar objective, rejecting
+// non-finite figures with an explicit verdict. A NaN score compares
+// false against every bound — `s < best` silently rejects forever and
+// sort.SliceStable orders unpredictably — so a candidate whose model
+// produced NaN/Inf run time, area, power or score is treated as
+// infeasible instead of being allowed to poison the accept and frontier
+// paths.
+func (e *engine) scoreChecked(ev *core.Evaluation) (float64, error) {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"run time", ev.RuntimeUs}, {"area", ev.AreaCells}, {"power", ev.PowerMW}} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return 0, fmt.Errorf("non-finite %s %v in evaluation", c.name, c.v)
+		}
+	}
+	s := e.score(ev)
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("non-finite score %v", s)
+	}
+	return s, nil
+}
+
 // evaluate runs the staged pipeline (core.Pipeline) for one candidate:
 // parse → compile kernel → assemble → simulate → synthesize → combine,
 // with every post-parse stage memoized per content-addressed key when the
@@ -235,7 +271,10 @@ func (e *engine) evalBase() (*core.Evaluation, float64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("explore: base candidate: %w", err)
 	}
-	s := e.score(eval)
+	s, err := e.scoreChecked(eval)
+	if err != nil {
+		return nil, 0, fmt.Errorf("explore: base candidate: %w", err)
+	}
 	e.setBestScore(s)
 	e.emit(Event{Kind: "base", Score: s, Scored: true, Eval: eval,
 		Line: fmt.Sprintf("base: score %.2f (%s)", s, oneLine(eval))})
@@ -351,7 +390,15 @@ func (HillClimb) run(e *engine) (*Result, error) {
 					Line: fmt.Sprintf("iter %d: %-28s infeasible: %v", iter, mv.action, err)})
 				continue
 			}
-			s := e.score(cand)
+			s, serr := e.scoreChecked(cand)
+			if serr != nil {
+				// A NaN/Inf score would compare false against bestScore
+				// forever; make the verdict explicit instead.
+				e.obs().Counter("explore.moves.infeasible").Inc()
+				e.emit(Event{Kind: "infeasible", Iter: iter, Action: mv.action, Eval: cand, Err: serr,
+					Line: fmt.Sprintf("iter %d: %-28s infeasible: %v", iter, mv.action, serr)})
+				continue
+			}
 			accepted := s < bestScore
 			if accepted {
 				e.obs().Counter("explore.moves.accepted").Inc()

@@ -235,7 +235,10 @@ func TestStrategyNames(t *testing.T) {
 		{explore.HillClimb{}, "hill"},
 		{explore.Beam{Width: 4}, "beam-4"},
 		{explore.Beam{}, "beam-4"}, // default width
+		{explore.Pareto{}, "pareto"},
+		{explore.Pareto{Width: 8}, "pareto-8"},
 		{explore.Restarts{N: 3}, "restarts-3(hill)"},
+		{explore.Restarts{N: 1, Inner: explore.Pareto{}}, "restarts-1(pareto)"},
 		{explore.Restarts{N: 2, Inner: explore.Beam{Width: 8}}, "restarts-2(beam-8)"},
 	} {
 		if got := tc.s.Name(); got != tc.want {

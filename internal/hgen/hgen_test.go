@@ -595,3 +595,26 @@ done:
 		t.Fatalf("sra result = %d", got)
 	}
 }
+
+// TestEstimateDeterministic is the regression test for the write-back
+// energy accumulation: estimate() used to sum the per-storage mux energy
+// in map-iteration order, and float addition is not associative, so
+// EnergyPerInstrPJ — and through it the PowerMW objective every
+// exploration strategy ranks candidates by — differed in the last bit
+// from run to run. Repeated synthesis of the same description must be
+// bit-identical.
+func TestEstimateDeterministic(t *testing.T) {
+	opts := hgen.DefaultOptions()
+	opts.EmitVerilog = false
+	ref := synth(t, machines.SPAM(), opts)
+	for i := 0; i < 20; i++ {
+		r := synth(t, machines.SPAM(), opts)
+		if r.EnergyPerInstrPJ != ref.EnergyPerInstrPJ {
+			t.Fatalf("run %d: EnergyPerInstrPJ %v != %v", i, r.EnergyPerInstrPJ, ref.EnergyPerInstrPJ)
+		}
+		if r.AreaCells != ref.AreaCells || r.CycleNs != ref.CycleNs {
+			t.Fatalf("run %d: area/cycle differ: (%v, %v) != (%v, %v)",
+				i, r.AreaCells, r.CycleNs, ref.AreaCells, ref.CycleNs)
+		}
+	}
+}

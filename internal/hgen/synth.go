@@ -386,13 +386,22 @@ func (r *Result) estimate() {
 	}
 
 	// Write-back multiplexing: one mux per written storage, fan-in = the
-	// number of operations that write it.
+	// number of operations that write it. Accumulate in sorted storage
+	// order: float addition is not associative, so summing in map order
+	// made EnergyPerInstrPJ — and through it the power objective every
+	// exploration strategy compares — wobble in the last bit from run to
+	// run (TestEstimateDeterministic).
 	writers := storageWriters(d)
+	wbNames := make([]string, 0, len(writers))
+	for name := range writers {
+		wbNames = append(wbNames, name)
+	}
+	sort.Strings(wbNames)
 	var wbArea float64
 	wbDelay := 0.0
-	for name, k := range writers {
+	for _, name := range wbNames {
 		st := d.StorageByName[name]
-		m := l.Mux(st.Width, k)
+		m := l.Mux(st.Width, writers[name])
 		wbArea += m.AreaCells
 		energy += m.EnergyPJ
 		if m.DelayNs > wbDelay {
