@@ -7,6 +7,7 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/isdl"
 	"repro/internal/machines"
 	"repro/internal/obs"
+	"repro/internal/suite"
 	"repro/internal/tech"
 	"repro/internal/verilog"
 	"repro/internal/xsim"
@@ -315,6 +317,59 @@ for i = 0 to 15 { s = s + a[i]; }
 	for i := 0; i < b.N; i++ {
 		if _, err := compiler.Compile(d, kernel); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Suite: per-kernel MIPS across the machine zoo (ROADMAP item 4) -------
+
+// BenchmarkSuite measures every registered suite workload on every zoo
+// machine the toolchain can target (compiled backend), reporting MIPS per
+// pair. The sub-benchmark rows land in the -bench-json trajectory
+// (BENCH_10.json), making the suite the standing perf yardstick.
+func BenchmarkSuite(b *testing.B) {
+	for _, w := range suite.All(suite.Filter{}) {
+		for _, m := range machines.ZooNames() {
+			if w.Machine != "" && w.Machine != m {
+				continue // asm workload pinned to one machine
+			}
+			w, m := w, m
+			b.Run(w.Name+"/"+m, func(b *testing.B) {
+				d, err := machines.ByName(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One verified run first: a yardstick that measures wrong
+				// answers fast is no yardstick.
+				if _, err := suite.RunOn(w, d, m, suite.Options{}); err != nil {
+					var u *suite.Unsupported
+					if errors.As(err, &u) {
+						b.Skipf("unsupported: %v", u.Err)
+					}
+					b.Fatal(err)
+				}
+				p, _, _, err := suite.Prepare(w, d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var instrs uint64
+				for i := 0; i < b.N; i++ {
+					eng, _, err := xsim.NewEngine(d, xsim.BackendCompiled)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := eng.Load(p); err != nil {
+						b.Fatal(err)
+					}
+					if err := eng.Run(0); err != nil {
+						b.Fatal(err)
+					}
+					instrs += eng.Stats().Instructions
+					eng.Close()
+				}
+				b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "MIPS")
+			})
 		}
 	}
 }

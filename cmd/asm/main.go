@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"repro/internal/atomicfile"
 	"strings"
 
 	"repro"
@@ -58,7 +59,7 @@ func main() {
 	if name == "" {
 		name = strings.TrimSuffix(flag.Arg(0), ".s") + ".xbin"
 	}
-	if err := os.WriteFile(name, repro.MarshalProgram(p), 0o644); err != nil {
+	if err := atomicfile.WriteFile(name, repro.MarshalProgram(p), 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s: %d words, %d symbols\n", name, len(p.Words), len(p.Symbols))

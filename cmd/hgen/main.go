@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"repro/internal/atomicfile"
 
 	"repro"
 	"repro/internal/hgen"
@@ -84,7 +85,7 @@ func main() {
 		if r.VerilogText == "" {
 			fatal(fmt.Errorf("no Verilog was generated"))
 		}
-		if err := os.WriteFile(*out, []byte(r.VerilogText), 0o644); err != nil {
+		if err := atomicfile.WriteFile(*out, []byte(r.VerilogText), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d lines)\n", *out, r.VerilogLines)

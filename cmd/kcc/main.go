@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"repro/internal/atomicfile"
 
 	"repro"
 	"repro/internal/compiler"
@@ -41,7 +42,7 @@ func main() {
 		fatal(err)
 	}
 	if *out != "" {
-		if err := os.WriteFile(*out, []byte(asmText), 0o644); err != nil {
+		if err := atomicfile.WriteFile(*out, []byte(asmText), 0o644); err != nil {
 			fatal(err)
 		}
 	} else if !*run {

@@ -11,6 +11,23 @@
 //	                         a benchmark JSON document (skips everything
 //	                         else)
 //
+// The suite registry (ROADMAP item 4) adds the workload-gauntlet modes,
+// which skip the tables above:
+//
+//	paper -suite                      run every registered workload on every
+//	                                  zoo machine with reference checking
+//	paper -suite -suite-filter dsp    only workloads tagged "dsp"
+//	paper -suite -suite-json f.json   also write the report as JSON
+//	paper -suite -suite-backend aot   select the xsim backend
+//	paper -gauntlet -gauntlet-n 25 -seed 1
+//	                                  differential fuzz gauntlet: random
+//	                                  machine × registry kernel across
+//	                                  interp/compiled/aot/cosim; byte-
+//	                                  identical rerun for a fixed seed
+//	paper -gauntlet -seed-replay S    replay one trial from a divergence
+//	                                  report's printed seed
+//	paper -gauntlet -gauntlet-json f.json  write the full report as JSON
+//
 // Table 1's Verilog measurement runs whole workloads concurrently on the
 // internal/cosim worker pool; the report includes the aggregate throughput
 // and the measured parallel-vs-serial speedup alongside the per-instance
@@ -18,12 +35,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/experiments"
+	_ "repro/internal/gensim" // registers the aot backend
+	"repro/internal/suite"
+	"repro/internal/xsim"
 )
 
 func main() {
@@ -32,6 +54,18 @@ func main() {
 	budget := flag.Duration("budget", 2*time.Second, "measurement budget per simulator for Table 1")
 	cosimWorkers := flag.Int("cosim-workers", 0, "parallel Verilog co-simulation workers for Table 1 (0 = NumCPU)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output on stdin and write it as JSON here")
+
+	suiteRun := flag.Bool("suite", false, "run the benchmark suite (registry workloads × machine zoo) and skip the tables")
+	suiteFilter := flag.String("suite-filter", "", "restrict the suite to workloads with this tag (or this exact name)")
+	suiteJSON := flag.String("suite-json", "", "also write the suite report as JSON here")
+	suiteBackend := flag.String("suite-backend", "", "xsim backend for the suite: interp | compiled | aot (default compiled)")
+
+	gauntlet := flag.Bool("gauntlet", false, "run the differential fuzz gauntlet and skip the tables")
+	gauntletN := flag.Int("gauntlet-n", 10, "gauntlet trial count")
+	seed := flag.Int64("seed", 1, "gauntlet base seed (per-trial seeds derive from it)")
+	seedReplay := flag.Int64("seed-replay", 0, "replay a single gauntlet trial from this per-trial seed (from a divergence report)")
+	gauntletJSON := flag.String("gauntlet-json", "", "also write the gauntlet report as JSON here")
+	gauntletNoCosim := flag.Bool("gauntlet-no-cosim", false, "skip the synthesized-Verilog gauntlet leg")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -39,6 +73,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
+
+	if *suiteRun {
+		if err := runSuite(*suiteFilter, *suiteBackend, *suiteJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *gauntlet {
+		if err := runGauntlet(*gauntletN, *seed, *seedReplay, *gauntletJSON, *gauntletNoCosim); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -79,7 +126,76 @@ func main() {
 	}
 }
 
+// runSuite runs the registry workloads across the zoo and renders the
+// report; the filter matches a tag first, then an exact workload name.
+func runSuite(filter, backend, jsonPath string) error {
+	f := suite.Filter{Tag: filter}
+	if filter != "" && len(suite.All(f)) == 0 {
+		f = suite.Filter{Name: filter}
+	}
+	rep, err := experiments.RunSuite(f, experiments.SuiteOptions{Backend: xsim.Backend(backend)})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Render())
+	if jsonPath != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := atomicfile.WriteFile(jsonPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if rep.Verified == 0 {
+		return fmt.Errorf("suite: no workload matched filter %q", filter)
+	}
+	return nil
+}
+
+// runGauntlet runs (or replays one trial of) the differential gauntlet.
+func runGauntlet(n int, seed, seedReplay int64, jsonPath string, noCosim bool) error {
+	o := suite.GauntletOptions{N: n, Seed: seed, NoCosim: noCosim}
+	var rep *suite.GauntletReport
+	if seedReplay != 0 {
+		tr := suite.RunTrial(0, seedReplay, o)
+		rep = &suite.GauntletReport{N: 1, Seed: seedReplay, Cosim: !noCosim,
+			Trials: []suite.Trial{tr}, Divergences: len(tr.Divergences)}
+		if tr.Err != "" {
+			rep.Errors = 1
+		}
+	} else {
+		rep = suite.RunGauntlet(o)
+	}
+	fmt.Println(rep.Render())
+	if jsonPath != "" {
+		b, err := gauntletJSONBytes(rep)
+		if err != nil {
+			return err
+		}
+		if err := atomicfile.WriteFile(jsonPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("gauntlet: %d divergence(s), %d error(s)", rep.Divergences, rep.Errors)
+	}
+	return nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paper:", err)
 	os.Exit(1)
+}
+
+// gauntletJSONBytes serializes a gauntlet report deterministically (stable
+// field order, trailing newline) so same-seed reruns are byte-identical.
+func gauntletJSONBytes(r *suite.GauntletReport) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }

@@ -376,6 +376,13 @@ func (t *Target) classifyOp(op *isdl.Operation) {
 			}
 			return
 		case *isdl.Index:
+			// A register-file read is a register move (mv Rd, Rs), not a
+			// load — machines whose only untyped move is the reg-reg form
+			// (no addi to synthesize one) need it classified.
+			if src, ok := t.classifyOperand(rhs, op.Params); ok && src.DirectReg && benignSideEffects(t.D, op) {
+				t.Movs = append(t.Movs, &MachMov{Op: op, Dst: dst, Src: src})
+				return
+			}
 			// Register-indirect load: RF[d] <- MEM[RF[a]], possibly with an
 			// immediate offset (RISC style): MEM[RF[a] + sext(off, …)].
 			if a, off, ok := t.regOffsetAddr(rhs.Idx, op.Params); ok {

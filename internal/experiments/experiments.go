@@ -18,6 +18,7 @@ import (
 	"repro/internal/isdl"
 	"repro/internal/machines"
 	"repro/internal/obs"
+	"repro/internal/suite"
 	"repro/internal/tech"
 	"repro/internal/verilog"
 	"repro/internal/xsim"
@@ -26,9 +27,28 @@ import (
 // FIRWorkload builds the SPAM FIR benchmark program used for the Table 1
 // speed measurements (the realistic simulation run §6.2 argues the fast ILS
 // enables).
+//
+// Deprecated: the canonical 16-tap/48-output shape lives in the suite
+// registry as "fir16.spam" — prefer suite.Get + suite.Prepare (or RunSuite).
+// This wrapper resolves through the registry for that shape and is proven
+// identical to direct construction by the compat tests.
 func FIRWorkload(taps, nout int) (*isdl.Description, *asm.Program, error) {
+	d, err := machines.ByName("spam")
+	if err != nil {
+		return nil, nil, err
+	}
+	if taps == 16 && nout == 48 {
+		w, err := suite.Get("fir16.spam")
+		if err != nil {
+			return nil, nil, err
+		}
+		p, _, _, err := suite.Prepare(w, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, p, nil
+	}
 	samples, coefs := machines.FIRTestVectors(taps, nout)
-	d := machines.SPAM()
 	p, err := asm.Assemble(d, machines.FIRSPAM(taps, nout, samples, coefs))
 	if err != nil {
 		return nil, nil, err
@@ -291,9 +311,13 @@ type Table2Row struct {
 }
 
 // RunTable2 synthesizes both processors with the paper's configuration.
+//
+// Deprecated: retained for the paper's Table 2 reproduction; the machine
+// list now resolves through the zoo registry (machines.ByName), proven
+// identical to direct construction by the compat tests.
 func RunTable2() ([]Table2Row, error) {
 	var rows []Table2Row
-	for _, d := range []*isdl.Description{machines.SPAM(), machines.SPAM2()} {
+	for _, d := range zooPair() {
 		r, err := hgen.Synthesize(d, tech.LSI10K(), hgen.DefaultOptions())
 		if err != nil {
 			return nil, err
@@ -332,11 +356,28 @@ type SharingRow struct {
 	Nodes     int
 }
 
+// zooPair resolves the paper's two DSPs through the machine zoo (the
+// registry the deprecated Table/ablation wrappers are re-expressed over).
+func zooPair() []*isdl.Description {
+	var ds []*isdl.Description
+	for _, name := range []string{"spam", "spam2"} {
+		d, err := machines.ByName(name)
+		if err != nil {
+			panic("experiments: zoo lost " + name + ": " + err.Error())
+		}
+		ds = append(ds, d)
+	}
+	return ds
+}
+
 // RunAblationSharing measures die size under the three sharing modes
 // (§4.1.1–4.1.2).
+//
+// Deprecated: retained for the DESIGN.md ablation; machines resolve
+// through the zoo registry.
 func RunAblationSharing() ([]SharingRow, error) {
 	var rows []SharingRow
-	for _, d := range []*isdl.Description{machines.SPAM(), machines.SPAM2()} {
+	for _, d := range zooPair() {
 		for _, mode := range []hgen.SharingMode{hgen.ShareOff, hgen.ShareRules, hgen.ShareRulesAndConstraints} {
 			r, err := hgen.Synthesize(d, tech.LSI10K(), hgen.Options{Sharing: mode, Decode: hgen.DecodeTwoLevel})
 			if err != nil {
@@ -373,9 +414,12 @@ type DecodeRow struct {
 }
 
 // RunAblationDecode measures the decode-logic styles of §4.2.
+//
+// Deprecated: retained for the DESIGN.md ablation; machines resolve
+// through the zoo registry.
 func RunAblationDecode() ([]DecodeRow, error) {
 	var rows []DecodeRow
-	for _, d := range []*isdl.Description{machines.SPAM(), machines.SPAM2()} {
+	for _, d := range zooPair() {
 		for _, style := range []hgen.DecodeStyle{hgen.DecodeTwoLevel, hgen.DecodeComparator} {
 			r, err := hgen.Synthesize(d, tech.LSI10K(), hgen.Options{Sharing: hgen.ShareRulesAndConstraints, Decode: style})
 			if err != nil {
@@ -414,15 +458,23 @@ type StallRow struct {
 // issue on the SPAM dot-product (whose loads and multiplies have non-unit
 // latency). The interlock model both counts stalls and keeps results
 // correct; disabling it shows what interlock-free hardware would compute.
+//
+// Deprecated: the workload resolves through the suite registry
+// ("dot32.spam"); prefer RunSuite for plain workload evaluation. Retained
+// because the stall-model toggle is not part of the suite API.
 func RunAblationStalls() ([]StallRow, error) {
-	const n = 32
-	x, y := machines.VecTestVectors(n)
-	d := machines.SPAM()
-	p, err := asm.Assemble(d, machines.DotSPAM(n, x, y))
+	w, err := suite.Get("dot32.spam")
 	if err != nil {
 		return nil, err
 	}
-	want := machines.DotReference(n, x, y)
+	d, err := machines.ByName(w.Machine)
+	if err != nil {
+		return nil, err
+	}
+	p, out, ref, err := suite.Prepare(w, d)
+	if err != nil {
+		return nil, err
+	}
 
 	var rows []StallRow
 	for _, stall := range []bool{true, false} {
@@ -438,11 +490,11 @@ func RunAblationStalls() ([]StallRow, error) {
 		if !stall {
 			model = "no stall model"
 		}
-		got := sim.State().Get("RF", 8)
+		got := sim.State().Get(out.Storage, out.Base)
 		rows = append(rows, StallRow{
 			Workload: "dot32", Model: model,
 			Cycles: sim.Cycle(), DataStalls: sim.Stats().DataStalls,
-			Correct: got.Eq(bitvec.FromUint64(32, uint64(want))),
+			Correct: got.Eq(bitvec.FromUint64(32, ref[0])),
 		})
 	}
 	return rows, nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/machines"
+	"repro/internal/xsim"
 )
 
 func TestToyParses(t *testing.T) {
@@ -125,5 +126,114 @@ func TestWorkloadSourcesAssemble(t *testing.T) {
 	}
 	if _, err := asm.Assemble(spam2, machines.VecAddSPAM2(8, x, y)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRISCV5Parses(t *testing.T) {
+	d := machines.RISCV5()
+	if d.Name != "riscv5" || len(d.Fields) != 1 || d.WordWidth != 32 {
+		t.Fatalf("riscv5: %s, %d fields, %d bits", d.Name, len(d.Fields), d.WordWidth)
+	}
+	if d.StorageByName["RF"].Depth != 32 || d.StorageByName["DMEM"].Depth != 1024 {
+		t.Fatal("riscv5 should have 32 registers and 1024 data words")
+	}
+	ex := d.FieldByName("EX")
+	if lw := ex.ByName["lw"]; lw.Timing.Latency != 2 {
+		t.Fatalf("lw latency = %d, want 2 (load-use stall)", lw.Timing.Latency)
+	}
+	if mul := ex.ByName["mul"]; mul.Timing.Latency != 3 {
+		t.Fatalf("mul latency = %d, want 3 (unbypassed multiplier)", mul.Timing.Latency)
+	}
+	if beq := ex.ByName["beq"]; beq.Timing.Usage != 2 {
+		t.Fatalf("beq usage = %d, want 2 (branch bubble)", beq.Timing.Usage)
+	}
+}
+
+func TestZoo(t *testing.T) {
+	want := []string{"toy", "risc32", "riscv5", "spam", "spam2"}
+	got := machines.ZooNames()
+	if len(got) != len(want) {
+		t.Fatalf("zoo = %v, want %v", got, want)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Fatalf("zoo = %v, want %v", got, want)
+		}
+	}
+	for _, e := range machines.Zoo() {
+		d, err := machines.ByName(e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != e.Name {
+			t.Fatalf("ByName(%q) parsed machine %q", e.Name, d.Name)
+		}
+	}
+	if _, err := machines.ByName("nonesuch"); err == nil {
+		t.Fatal("ByName should reject unknown machines")
+	}
+}
+
+// runRISCV5 assembles and runs src on riscv5, returning the simulator.
+func runRISCV5(t *testing.T, src string) *xsim.Simulator {
+	t.Helper()
+	d := machines.RISCV5()
+	p, err := asm.Assemble(d, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := xsim.New(d)
+	if err := sim.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return sim
+}
+
+// TestRISCV5PipelineStalls pins the three timing behaviours the description
+// models: the load-use stall, the unbypassed-multiplier latency, and the
+// one-bubble branch penalty. Each case pairs a dependent sequence with an
+// independent one so the test measures the stall, not the baseline.
+func TestRISCV5PipelineStalls(t *testing.T) {
+	// Load-use: the add consumes R2 the cycle after lw produces it in MEM.
+	dep := runRISCV5(t, "li R1, 5\n sw R1, 0(R0)\n lw R2, 0(R0)\n add R3, R2, R2\n halt")
+	indep := runRISCV5(t, "li R1, 5\n sw R1, 0(R0)\n lw R2, 0(R0)\n add R3, R1, R1\n halt")
+	if got := dep.Stats().DataStalls - indep.Stats().DataStalls; got != 1 {
+		t.Errorf("load-use stall = %d, want 1 (dep %d, indep %d)",
+			got, dep.Stats().DataStalls, indep.Stats().DataStalls)
+	}
+	if got := dep.State().Get("RF", 3).Uint64(); got != 10 {
+		t.Errorf("R3 = %d, want 10", got)
+	}
+
+	// Multiplier: latency 3 costs an immediate consumer two stall cycles.
+	mdep := runRISCV5(t, "li R1, 6\n li R2, 7\n mul R3, R1, R2\n add R4, R3, R3\n halt")
+	mindep := runRISCV5(t, "li R1, 6\n li R2, 7\n mul R3, R1, R2\n add R4, R1, R1\n halt")
+	if got := mdep.Stats().DataStalls - mindep.Stats().DataStalls; got != 2 {
+		t.Errorf("mul-use stalls = %d, want 2 (dep %d, indep %d)",
+			got, mdep.Stats().DataStalls, mindep.Stats().DataStalls)
+	}
+	if got := mdep.State().Get("RF", 4).Uint64(); got != 84 {
+		t.Errorf("R4 = %d, want 84", got)
+	}
+
+	// Branch bubble: every control transfer holds the issue slot an extra
+	// cycle (Usage 2), taken or not.
+	br := runRISCV5(t, "beq R0, R0, 2\n nop\n bne R0, R0, 4\n nop\n halt")
+	if br.Stats().StructStalls == 0 {
+		t.Error("branches should cost structural stall cycles (branch bubble)")
+	}
+	nobr := runRISCV5(t, "nop\n nop\n nop\n nop\n halt")
+	if nobr.Stats().StructStalls != 0 {
+		t.Errorf("straight-line code has %d structural stalls, want 0", nobr.Stats().StructStalls)
+	}
+	if br.Stats().Cycles <= nobr.Stats().Cycles {
+		t.Errorf("branchy code (%d cycles) should be slower than straight-line (%d)",
+			br.Stats().Cycles, nobr.Stats().Cycles)
 	}
 }

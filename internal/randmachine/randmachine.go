@@ -19,6 +19,12 @@ type Config struct {
 	// MaxOps bounds the single field's operation count (≥ 4: mov, halt,
 	// nop and at least one ALU op are always present).
 	MaxOps int
+	// ForCompiler constrains the random space to machines the retargetable
+	// compiler can always target (the suite gauntlet's mode): eight
+	// registers, 8-bit immediates, add/sub/and guaranteed (or/xor still
+	// random), and load, store and branch always present. Word width,
+	// register width and the operand non-terminal stay random.
+	ForCompiler bool
 }
 
 // Machine is a generated machine plus the knowledge needed to generate
@@ -56,6 +62,14 @@ func Generate(rnd *rand.Rand, cfg Config) *Machine {
 		ImmWidth:  []int{6, 8}[rnd.Intn(2)],
 		MemDepth:  64,
 		UseNT:     rnd.Intn(2) == 0,
+	}
+	if cfg.ForCompiler {
+		// The compiler needs temps alongside register-resident loop
+		// variables, and its relational lowering builds the sign-bit mask
+		// 1<<(w-1) by double-and-add from an immediate seed — an 8-bit
+		// immediate always suffices, a 6-bit one does not.
+		m.RegCount = 8
+		m.ImmWidth = 8
 	}
 	regBits := 2
 	if m.RegCount == 8 {
@@ -117,10 +131,22 @@ Field EX:
 		return fmt.Sprintf("I[%d:0] = s;", srcBits-1)
 	}
 
-	nALU := 1 + rnd.Intn(len(aluSyms))
-	perm := rnd.Perm(len(aluSyms))
-	for i := 0; i < nALU; i++ {
-		op := aluSyms[perm[i]]
+	var opIdx []int
+	if cfg.ForCompiler {
+		// add, sub and and are the compiler's floor (arithmetic plus the
+		// sign-bit mask of relational lowering); or and xor stay random.
+		opIdx = []int{0, 1, 2}
+		for i := 3; i < len(aluSyms); i++ {
+			if rnd.Intn(2) == 0 {
+				opIdx = append(opIdx, i)
+			}
+		}
+	} else {
+		nALU := 1 + rnd.Intn(len(aluSyms))
+		opIdx = rnd.Perm(len(aluSyms))[:nALU]
+	}
+	for _, pi := range opIdx {
+		op := aluSyms[pi]
 		m.ALUOps = append(m.ALUOps, op.name)
 		fmt.Fprintf(&sb, `  op %s (d: GPR) "," (a: GPR) "," (s: %s)
     Encode { I[%d:%d] = 0b%05b; I[%d:%d] = d; I[%d:%d] = a; %s }
@@ -141,7 +167,7 @@ Field EX:
 `, opTop, opBot, nextOp(), dTop, dBot, m.ImmWidth-1, m.RegWidth)
 	}
 
-	if rnd.Intn(2) == 0 {
+	if cfg.ForCompiler || rnd.Intn(2) == 0 {
 		m.HasLoad = true
 		fmt.Fprintf(&sb, `  op ld (d: GPR) "," "@" (a: GPR)
     Encode { I[%d:%d] = 0b%05b; I[%d:%d] = d; I[%d:%d] = a; }
@@ -150,14 +176,14 @@ Field EX:
     Timing { Latency = 2; Usage = 1; }
 `, opTop, opBot, nextOp(), dTop, dBot, aTop, aBot)
 	}
-	if rnd.Intn(2) == 0 {
+	if cfg.ForCompiler || rnd.Intn(2) == 0 {
 		m.HasStore = true
 		fmt.Fprintf(&sb, `  op st "@" (a: GPR) "," (v: GPR)
     Encode { I[%d:%d] = 0b%05b; I[%d:%d] = v; I[%d:%d] = a; }
     Action { DMEM[RF[a]] <- RF[v]; }
 `, opTop, opBot, nextOp(), dTop, dBot, aTop, aBot)
 	}
-	if rnd.Intn(2) == 0 {
+	if cfg.ForCompiler || rnd.Intn(2) == 0 {
 		m.HasBranch = true
 		fmt.Fprintf(&sb, `  op beq (a: GPR) "," (b: GPR) "," (t: UIMM)
     Encode { I[%d:%d] = 0b%05b; I[%d:%d] = a; I[%d:%d] = b; I[7:0] = t; }

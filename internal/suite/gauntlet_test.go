@@ -1,0 +1,105 @@
+package suite_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/suite"
+)
+
+// TestGauntletDeterminism proves the acceptance property the nightly CI
+// job relies on: the same base seed yields the exact same report —
+// per-trial seeds, machine shapes, kernels, counts and renderings.
+func TestGauntletDeterminism(t *testing.T) {
+	o := suite.GauntletOptions{N: 3, Seed: 99, NoCosim: true}
+	a := suite.RunGauntlet(o)
+	b := suite.RunGauntlet(o)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed gauntlet reports differ:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	if !a.Clean() {
+		t.Fatalf("gauntlet not clean:\n%s", a.Render())
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("same-seed renderings differ")
+	}
+}
+
+// TestGauntletReplay proves a trial reproduces from its per-trial seed
+// alone — the property every divergence report's "replay:" line depends
+// on: RunTrial(0, seed) must rebuild the same machine, kernel and counts
+// that the full run produced at that seed.
+func TestGauntletReplay(t *testing.T) {
+	o := suite.GauntletOptions{N: 3, Seed: 12345, NoCosim: true}
+	rep := suite.RunGauntlet(o)
+	if !rep.Clean() {
+		t.Fatalf("gauntlet not clean:\n%s", rep.Render())
+	}
+	for _, orig := range rep.Trials {
+		got := suite.RunTrial(0, orig.Seed, o)
+		got.Trial = orig.Trial // the index is positional, not seed-derived
+		if !reflect.DeepEqual(orig, got) {
+			t.Fatalf("trial at seed %d did not replay:\n%+v\nvs\n%+v", orig.Seed, orig, got)
+		}
+	}
+}
+
+// TestGauntletCosimLeg runs one full trial with the Verilog leg enabled so
+// the synthesize → parse → lockstep co-simulation path stays covered by
+// `go test` (the CI gauntlet smoke covers larger counts).
+func TestGauntletCosimLeg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Verilog co-simulation is not -short")
+	}
+	rep := suite.RunGauntlet(suite.GauntletOptions{N: 1, Seed: 7})
+	if !rep.Cosim {
+		t.Fatal("cosim leg should be on by default")
+	}
+	if !rep.Clean() {
+		t.Fatalf("gauntlet not clean:\n%s", rep.Render())
+	}
+}
+
+// TestTrialSeed pins the splitmix64 derivation: distinct per-trial seeds,
+// and stable values (the replay lines in archived divergence reports must
+// keep meaning the same trial).
+func TestTrialSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := suite.TrialSeed(1, i)
+		if seen[s] {
+			t.Fatalf("duplicate per-trial seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	if suite.TrialSeed(1, 0) == suite.TrialSeed(2, 0) {
+		t.Fatal("different base seeds produced the same trial seed")
+	}
+	if suite.TrialSeed(1, 0) != suite.TrialSeed(1, 0) {
+		t.Fatal("TrialSeed is not a pure function")
+	}
+}
+
+// TestGauntletRender checks the report prints a replay line for every
+// divergence and the clean-run footer otherwise.
+func TestGauntletRender(t *testing.T) {
+	clean := suite.RunGauntlet(suite.GauntletOptions{N: 1, Seed: 99, NoCosim: true})
+	if !strings.Contains(clean.Render(), "all 1 trials agree") {
+		t.Fatalf("clean render missing footer:\n%s", clean.Render())
+	}
+	rigged := &suite.GauntletReport{
+		N: 1, Seed: 1, Divergences: 1,
+		Trials: []suite.Trial{{
+			Kernel: "dot", Seed: 42,
+			Divergences: []suite.Divergence{{Leg: "cosim", Kernel: "dot", Seed: 42, Detail: "boom"}},
+		}},
+	}
+	out := rigged.Render()
+	if !strings.Contains(out, "-seed-replay 42") || !strings.Contains(out, "boom") {
+		t.Fatalf("divergence render missing replay line:\n%s", out)
+	}
+	if rigged.Clean() {
+		t.Fatal("report with divergences counted as clean")
+	}
+}

@@ -1,0 +1,123 @@
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/isdl"
+)
+
+// DataPlaceholder is the storage name portable kernels declare their arrays
+// in. LoadKernel resolves it to the machine's first data memory the
+// classified target can both load from and store to — DMEM on toy, risc32
+// and riscv5, DMX on SPAM, DM on SPAM2 — so one kernel source runs on every
+// machine in the zoo without caring what its memory is called.
+const DataPlaceholder = "DATA"
+
+// LoadedKernel is a kernel-language workload compiled and assembled for one
+// machine.
+type LoadedKernel struct {
+	// Prog is the parsed kernel with DATA resolved to DataMem.
+	Prog *compiler.Program
+	// DataMem is the storage name DATA resolved to, and DataWidth its word
+	// width (the width stored array elements are truncated to).
+	DataMem   string
+	DataWidth int
+	// RFWidth is the register width scalars are computed at.
+	RFWidth int
+	// Asm is the compiled assembly text, Program its assembled form.
+	Asm     string
+	Program *asm.Program
+}
+
+// Unsupported marks a workload/machine combination the toolchain cannot
+// target — a compile-time incompatibility (missing operation, no data
+// memory, array too large), as opposed to a runtime failure.
+type Unsupported struct {
+	Workload string
+	Machine  string
+	Err      error
+}
+
+func (u *Unsupported) Error() string {
+	return fmt.Sprintf("suite: %s unsupported on %s: %v", u.Workload, u.Machine, u.Err)
+}
+
+func (u *Unsupported) Unwrap() error { return u.Err }
+
+// DataMemoryFor returns the data memory DATA resolves to on the machine.
+func DataMemoryFor(d *isdl.Description) (*isdl.Storage, error) {
+	t, err := compiler.NewTarget(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range d.Storage {
+		if st.Kind == isdl.StDataMemory && len(t.Loads[st.Name]) > 0 && len(t.Stores[st.Name]) > 0 {
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("machine %s has no data memory with both load and store", d.Name)
+}
+
+// LoadKernel parses portable kernel-language source, resolves the DATA
+// placeholder storage to the machine's data memory, and compiles and
+// assembles the result. It is the single kernel-loading path behind the
+// registry, the gauntlet, and the examples/kernels files. Incompatibilities
+// (no classifiable target, missing operations such as shifts on toy, arrays
+// deeper than the data memory) come back as *Unsupported.
+func LoadKernel(d *isdl.Description, src string) (*LoadedKernel, error) {
+	prog, err := compiler.ParseKernel(src)
+	if err != nil {
+		return nil, fmt.Errorf("suite: parse kernel: %w", err)
+	}
+	t, err := compiler.NewTarget(d)
+	if err != nil {
+		return nil, &Unsupported{Machine: d.Name, Err: err}
+	}
+	mem, err := DataMemoryFor(d)
+	if err != nil {
+		return nil, &Unsupported{Machine: d.Name, Err: err}
+	}
+	for _, a := range prog.Arrays {
+		if a.Storage == DataPlaceholder {
+			a.Storage = mem.Name
+		}
+	}
+	text, err := compiler.CompileProgram(d, prog, compiler.Options{})
+	if err != nil {
+		return nil, &Unsupported{Machine: d.Name, Err: err}
+	}
+	p, err := asm.Assemble(d, text)
+	if err != nil {
+		// The compiler emitted something the assembler rejects: a real
+		// toolchain bug, not an incompatibility — surface it loudly.
+		return nil, fmt.Errorf("suite: assemble compiled kernel for %s: %w", d.Name, err)
+	}
+	return &LoadedKernel{
+		Prog:      prog,
+		DataMem:   mem.Name,
+		DataWidth: mem.Width,
+		RFWidth:   t.RF.Width,
+		Asm:       text,
+		Program:   p,
+	}, nil
+}
+
+// OutRegion resolves the workload's output region for a loaded kernel (or,
+// for asm workloads, returns the explicit region).
+func (w *Workload) OutRegion(lk *LoadedKernel) (Out, error) {
+	if w.Asm != nil {
+		return w.Out, nil
+	}
+	name := w.Out.Array
+	if name == "" {
+		name = "out"
+	}
+	for _, a := range lk.Prog.Arrays {
+		if a.Name == name {
+			return Out{Array: name, Storage: a.Storage, Base: a.Base, N: a.Size}, nil
+		}
+	}
+	return Out{}, fmt.Errorf("suite: workload %s: no output array %q", w.Name, name)
+}

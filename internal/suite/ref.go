@@ -1,0 +1,275 @@
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+)
+
+// The golden kernel interpreter: executes a kernel-language program with
+// exactly the arithmetic the compiled code performs — scalars masked to the
+// target register width, array elements truncated to the data memory width,
+// relationals decided by the sign bit of the masked difference (the
+// compiler's sign-of-difference lowering), for loops inclusive with a +1
+// step. Because both sides wrap identically, reference checking stays exact
+// even when a kernel's intermediate values overflow a narrow machine (toy's
+// 8-bit register file, random 12-bit machines): a divergence always means a
+// tool bug, never an interpreter/hardware width mismatch.
+
+// refSteps bounds interpreted statements so a buggy kernel cannot hang the
+// suite.
+const refSteps = 10_000_000
+
+type refInterp struct {
+	rfMask   uint64
+	rfSign   uint64
+	dataMask uint64
+	vars     map[string]uint64
+	arrays   map[string][]uint64
+	steps    int
+}
+
+// Reference interprets the loaded kernel and returns the contents of the
+// named output array (values truncated to the data memory width).
+func Reference(lk *LoadedKernel, outArray string) ([]uint64, error) {
+	if lk.RFWidth <= 0 || lk.RFWidth > 64 || lk.DataWidth <= 0 || lk.DataWidth > 64 {
+		return nil, fmt.Errorf("suite: reference: unsupported widths rf=%d data=%d", lk.RFWidth, lk.DataWidth)
+	}
+	in := &refInterp{
+		rfMask:   mask(lk.RFWidth),
+		rfSign:   1 << uint(lk.RFWidth-1),
+		dataMask: mask(lk.DataWidth),
+		vars:     map[string]uint64{},
+		arrays:   map[string][]uint64{},
+	}
+	for _, v := range lk.Prog.Vars {
+		in.vars[v.Name] = uint64(v.Init) & in.rfMask
+	}
+	for _, a := range lk.Prog.Arrays {
+		vals := make([]uint64, a.Size)
+		for i, v := range a.Init {
+			vals[i] = uint64(v) & in.dataMask
+		}
+		in.arrays[a.Name] = vals
+	}
+	if err := in.block(lk.Prog.Body); err != nil {
+		return nil, err
+	}
+	out, ok := in.arrays[outArray]
+	if !ok {
+		return nil, fmt.Errorf("suite: reference: no array %q", outArray)
+	}
+	res := make([]uint64, len(out))
+	copy(res, out)
+	return res, nil
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+func (in *refInterp) block(stmts []compiler.Stmt) error {
+	for _, s := range stmts {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *refInterp) tick() error {
+	in.steps++
+	if in.steps > refSteps {
+		return fmt.Errorf("suite: reference: kernel exceeded %d steps", refSteps)
+	}
+	return nil
+}
+
+func (in *refInterp) stmt(s compiler.Stmt) error {
+	if err := in.tick(); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *compiler.AssignStmt:
+		v, err := in.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		if st.Index == nil {
+			if _, ok := in.vars[st.Name]; !ok {
+				return fmt.Errorf("suite: reference: undeclared variable %s", st.Name)
+			}
+			in.vars[st.Name] = v
+			return nil
+		}
+		idx, err := in.eval(st.Index)
+		if err != nil {
+			return err
+		}
+		arr, ok := in.arrays[st.Name]
+		if !ok {
+			return fmt.Errorf("suite: reference: undeclared array %s", st.Name)
+		}
+		if idx >= uint64(len(arr)) {
+			return fmt.Errorf("suite: reference: %s[%d] out of range (size %d)", st.Name, idx, len(arr))
+		}
+		arr[idx] = v & in.dataMask
+		return nil
+	case *compiler.IfStmt:
+		c, err := in.cond(st.Cond)
+		if err != nil {
+			return err
+		}
+		if c {
+			return in.block(st.Then)
+		}
+		return in.block(st.Else)
+	case *compiler.WhileStmt:
+		for {
+			c, err := in.cond(st.Cond)
+			if err != nil {
+				return err
+			}
+			if !c {
+				return nil
+			}
+			if err := in.block(st.Body); err != nil {
+				return err
+			}
+			if err := in.tick(); err != nil {
+				return err
+			}
+		}
+	case *compiler.ForStmt:
+		// Mirror the compiler's desugaring: init, loop while var <= to
+		// (sign-of-difference), +1 step at register width.
+		from, err := in.eval(st.From)
+		if err != nil {
+			return err
+		}
+		if _, ok := in.vars[st.Var]; !ok {
+			return fmt.Errorf("suite: reference: undeclared loop variable %s", st.Var)
+		}
+		in.vars[st.Var] = from
+		for {
+			to, err := in.eval(st.To)
+			if err != nil {
+				return err
+			}
+			if in.signOfDiff(to, in.vars[st.Var]) { // to < var: done
+				return nil
+			}
+			if err := in.block(st.Body); err != nil {
+				return err
+			}
+			in.vars[st.Var] = (in.vars[st.Var] + 1) & in.rfMask
+			if err := in.tick(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("suite: reference: unknown statement %T", s)
+	}
+}
+
+// signOfDiff reports whether a-b is negative at register width — the
+// compiler's primitive for every ordered comparison.
+func (in *refInterp) signOfDiff(a, b uint64) bool {
+	return (a-b)&in.rfSign != 0
+}
+
+func (in *refInterp) cond(c compiler.Cond) (bool, error) {
+	l, err := in.eval(c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := in.eval(c.R)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case "==":
+		return (l-r)&in.rfMask == 0, nil
+	case "!=":
+		return (l-r)&in.rfMask != 0, nil
+	case "<":
+		return in.signOfDiff(l, r), nil
+	case "<=":
+		return !in.signOfDiff(r, l), nil
+	case ">":
+		return in.signOfDiff(r, l), nil
+	case ">=":
+		return !in.signOfDiff(l, r), nil
+	default:
+		return false, fmt.Errorf("suite: reference: unknown comparison %q", c.Op)
+	}
+}
+
+func (in *refInterp) eval(e compiler.Expr) (uint64, error) {
+	if err := in.tick(); err != nil {
+		return 0, err
+	}
+	switch x := e.(type) {
+	case *compiler.Num:
+		return uint64(x.V) & in.rfMask, nil
+	case *compiler.Var:
+		v, ok := in.vars[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("suite: reference: undeclared variable %s", x.Name)
+		}
+		return v, nil
+	case *compiler.Elem:
+		idx, err := in.eval(x.Idx)
+		if err != nil {
+			return 0, err
+		}
+		arr, ok := in.arrays[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("suite: reference: undeclared array %s", x.Name)
+		}
+		if idx >= uint64(len(arr)) {
+			return 0, fmt.Errorf("suite: reference: %s[%d] out of range (size %d)", x.Name, idx, len(arr))
+		}
+		return arr[idx] & in.rfMask, nil
+	case *compiler.Bin:
+		l, err := in.eval(x.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(x.R)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return (l + r) & in.rfMask, nil
+		case "-":
+			return (l - r) & in.rfMask, nil
+		case "*":
+			return (l * r) & in.rfMask, nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		case "<<":
+			if r >= 64 {
+				return 0, nil
+			}
+			return (l << r) & in.rfMask, nil
+		case ">>":
+			if r >= 64 {
+				return 0, nil
+			}
+			return l >> r, nil
+		default:
+			return 0, fmt.Errorf("suite: reference: unknown operator %q", x.Op)
+		}
+	default:
+		return 0, fmt.Errorf("suite: reference: unknown expression %T", e)
+	}
+}

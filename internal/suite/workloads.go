@@ -1,0 +1,261 @@
+package suite
+
+import "repro/internal/machines"
+
+// The seeded catalog: eight portable kernel-language workloads plus the
+// hand-scheduled SPAM/SPAM2 assembly kernels the paper's Table 1 and
+// ablation measurements use. The kernel sources are the canonical copies —
+// examples/kernels/*.k mirrors them (a test keeps the two in sync), and the
+// portable ones deliberately restrict themselves to +, -, & and relationals
+// with software multiply so they compile for every machine in the zoo,
+// including toy (no or/xor/shift) and SPAM2 (no multiplier reachable from
+// the register file). crc and mulhw opt into richer operations and are
+// skipped (reported as unsupported) on machines that lack them.
+
+// KernelSources maps portable workload names to their kernel-language
+// source; examples/kernels/<name>.k carries the same text.
+var KernelSources = map[string]string{
+	"dot":       DotKernel,
+	"fir":       FIRKernel,
+	"iir":       IIRKernel,
+	"matmul":    MatMulKernel,
+	"crc":       CRCKernel,
+	"isort":     InsertionSortKernel,
+	"strsearch": StringSearchKernel,
+	"mulhw":     MulHWKernel,
+}
+
+// DotKernel: dot product with software multiply (repeated addition).
+const DotKernel = `// dot: out[0] = sum_i x[i]*y[i], multiply by repeated addition so the
+// kernel stays portable to machines without a multiplier.
+var i, t, acc;
+array x[8] in DATA at 0 = { 3, 1, 4, 1, 5, 9, 2, 6 };
+array y[8] in DATA at 8 = { 2, 7, 1, 8, 2, 8, 1, 8 };
+array out[1] in DATA at 16;
+acc = 0;
+for i = 0 to 7 {
+  t = y[i];
+  while (t != 0) { acc = acc + x[i]; t = t - 1; }
+}
+out[0] = acc;
+`
+
+// FIRKernel: 4-tap FIR filter over 8 outputs.
+const FIRKernel = `// fir: out[i] = sum_k c[k]*x[i+k], 4 taps, software multiply.
+var i, k, acc, t;
+array x[12] in DATA at 0 = { 1, 3, 2, 5, 4, 7, 6, 9, 8, 2, 4, 6 };
+array c[4] in DATA at 12 = { 2, 0, 3, 1 };
+array out[8] in DATA at 16;
+for i = 0 to 7 {
+  acc = 0;
+  for k = 0 to 3 {
+    t = c[k];
+    while (t != 0) { acc = acc + x[i + k]; t = t - 1; }
+  }
+  out[i] = acc;
+}
+`
+
+// IIRKernel: first-order IIR section, y[i] = x[i] + 2*y[i-1].
+const IIRKernel = `// iir: first-order recursive filter; the feedback term grows until it
+// wraps on narrow machines — reference checking wraps identically.
+var i, t, acc, prev;
+array x[8] in DATA at 0 = { 5, 3, 8, 1, 9, 4, 7, 2 };
+array out[8] in DATA at 8;
+prev = 0;
+for i = 0 to 7 {
+  acc = x[i];
+  t = 2;
+  while (t != 0) { acc = acc + prev; t = t - 1; }
+  out[i] = acc;
+  prev = acc;
+}
+`
+
+// MatMulKernel: 3x3 matrix multiply with addition-maintained row bases.
+const MatMulKernel = `// matmul: out = a*b for 3x3 matrices. Row bases ai and bk advance by
+// addition so no multiply appears in the index arithmetic.
+var i, j, k, acc, ai, bk, t;
+array a[9] in DATA at 0 = { 1, 2, 3, 4, 5, 6, 7, 8, 9 };
+array b[9] in DATA at 9 = { 2, 0, 1, 1, 3, 2, 0, 1, 4 };
+array out[9] in DATA at 18;
+ai = 0;
+for i = 0 to 2 {
+  for j = 0 to 2 {
+    acc = 0;
+    bk = j;
+    for k = 0 to 2 {
+      t = b[bk];
+      while (t != 0) { acc = acc + a[ai + k]; t = t - 1; }
+      bk = bk + 3;
+    }
+    out[ai + j] = acc;
+  }
+  ai = ai + 3;
+}
+`
+
+// CRCKernel: bitwise CRC-16 (polynomial 0x1021) over "12345678".
+const CRCKernel = `// crc: bitwise CRC-16 with polynomial 0x1021 over the bytes of
+// "12345678". Needs >>, ^ and & so it only targets machines with a
+// classifiable shift and xor (riscv5, spam; risc32's register shift
+// masks its amount operand, which defeats classification).
+var i, b, d, crc;
+array msg[8] in DATA at 0 = { 49, 50, 51, 52, 53, 54, 55, 56 };
+array out[1] in DATA at 8;
+crc = 0;
+for i = 0 to 7 {
+  crc = crc ^ msg[i];
+  for b = 0 to 7 {
+    d = crc & 1;
+    crc = crc >> 1;
+    if (d != 0) { crc = crc ^ 4129; }
+  }
+}
+out[0] = crc;
+`
+
+// InsertionSortKernel: insertion sort of 10 elements.
+const InsertionSortKernel = `// isort: insertion sort; exercises data-dependent relational compares
+// and the j-goes-negative inner-loop guard.
+var i, j, key, t, go;
+array a[10] in DATA at 0 = { 55, 12, 93, 4, 41, 77, 8, 66, 29, 50 };
+array out[10] in DATA at 10;
+for i = 0 to 9 { out[i] = a[i]; }
+for i = 1 to 9 {
+  key = out[i];
+  j = i - 1;
+  go = 1;
+  while (go != 0) {
+    if (j < 0) { go = 0; } else {
+      t = out[j];
+      if (t > key) { out[j + 1] = t; j = j - 1; } else { go = 0; }
+    }
+  }
+  out[j + 1] = key;
+}
+`
+
+// StringSearchKernel: naive pattern search, reporting count and first hit.
+const StringSearchKernel = `// strsearch: count occurrences of pat in txt and record the first match
+// index (99 when absent).
+var i, j, ok, count, first;
+array txt[12] in DATA at 0 = { 1, 2, 3, 1, 2, 1, 2, 3, 4, 1, 2, 3 };
+array pat[3] in DATA at 12 = { 1, 2, 3 };
+array out[2] in DATA at 15;
+count = 0;
+first = 99;
+for i = 0 to 9 {
+  ok = 1;
+  for j = 0 to 2 {
+    if (txt[i + j] != pat[j]) { ok = 0; }
+  }
+  if (ok != 0) {
+    count = count + 1;
+    if (first == 99) { first = i; }
+  }
+}
+out[0] = count;
+out[1] = first;
+`
+
+// MulHWKernel: the dot product again, but through the machine's multiplier.
+const MulHWKernel = `// mulhw: dot product via the hardware multiplier — same answer as the
+// portable dot kernel, but only machines with an RF-destination multiply
+// (toy, riscv5) can run it; on riscv5 it exercises the pipelined
+// multiplier's 3-cycle latency.
+var i, acc;
+array x[8] in DATA at 0 = { 3, 1, 4, 1, 5, 9, 2, 6 };
+array y[8] in DATA at 8 = { 2, 7, 1, 8, 2, 8, 1, 8 };
+array out[1] in DATA at 16;
+acc = 0;
+for i = 0 to 7 { acc = acc + x[i] * y[i]; }
+out[0] = acc;
+`
+
+// PortableNames lists the kernel workloads every compiler-classifiable
+// machine can run (only +, -, & and relationals) — the pool the gauntlet
+// draws from, since random machines never have shifts or multipliers.
+func PortableNames() []string {
+	return []string{"dot", "fir", "iir", "matmul", "isort", "strsearch"}
+}
+
+const (
+	firTaps   = 16
+	firNOut   = 48
+	dotN      = 32
+	vecAddN   = 64
+	spamRFDot = 8 // DotSPAM leaves the low accumulator word in R8
+)
+
+func widen[T uint16 | uint32](vals []T) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+func init() {
+	kernelTags := map[string][]string{
+		"dot":       {"dsp"},
+		"fir":       {"dsp", "filter"},
+		"iir":       {"dsp", "filter"},
+		"matmul":    {"linalg"},
+		"crc":       {"bitwise"},
+		"isort":     {"sort"},
+		"strsearch": {"search"},
+		"mulhw":     {"dsp", "mul"},
+	}
+	for _, name := range []string{"dot", "fir", "iir", "matmul", "crc", "isort", "strsearch", "mulhw"} {
+		MustRegister(Workload{
+			Name:   name,
+			Kernel: KernelSources[name],
+			Tags:   kernelTags[name],
+		})
+	}
+
+	MustRegister(Workload{
+		Name:    "fir16.spam",
+		Machine: "spam",
+		Asm: func() string {
+			samples, coefs := machines.FIRTestVectors(firTaps, firNOut)
+			return machines.FIRSPAM(firTaps, firNOut, samples, coefs)
+		},
+		Out: Out{Storage: "DMX", Base: machines.FIRSPAMOutBase, N: firNOut},
+		RefOutput: func() []uint64 {
+			samples, coefs := machines.FIRTestVectors(firTaps, firNOut)
+			return widen(machines.FIRReference(firTaps, firNOut, samples, coefs))
+		},
+		Tags: []string{"dsp", "filter", "asm"},
+	})
+	MustRegister(Workload{
+		Name:    "dot32.spam",
+		Machine: "spam",
+		Asm: func() string {
+			x, y := machines.VecTestVectors(dotN)
+			return machines.DotSPAM(dotN, x, y)
+		},
+		Out: Out{Storage: "RF", Base: spamRFDot, N: 1},
+		RefOutput: func() []uint64 {
+			x, y := machines.VecTestVectors(dotN)
+			return []uint64{uint64(machines.DotReference(dotN, x, y))}
+		},
+		Tags: []string{"dsp", "asm"},
+	})
+	MustRegister(Workload{
+		Name:    "vecadd64.spam2",
+		Machine: "spam2",
+		Asm: func() string {
+			a, b := machines.VecTestVectors(vecAddN)
+			return machines.VecAddSPAM2(vecAddN, a, b)
+		},
+		Out: Out{Storage: "DM", Base: 256, N: vecAddN},
+		RefOutput: func() []uint64 {
+			a, b := machines.VecTestVectors(vecAddN)
+			c, _ := machines.VecAddReference(vecAddN, a, b)
+			return widen(c)
+		},
+		Tags: []string{"dsp", "asm"},
+	})
+}

@@ -133,15 +133,15 @@ func Evaluate(d *Description, p *Program, workload string) (*Evaluation, error) 
 	return core.NewEvaluator().Evaluate(d, p, workload)
 }
 
-// Machines returns the bundled ISDL descriptions by name: "toy" (a small
-// teaching machine), "spam" (the paper's 4-way VLIW with 3 parallel moves),
-// "spam2" (the simpler 3-way VLIW) and "risc32" (a single-issue load/store
-// RISC demonstrating ISDL's architectural range).
+// Machines returns the bundled ISDL descriptions by name — the machine zoo:
+// "toy" (a small teaching machine), "spam" (the paper's 4-way VLIW with 3
+// parallel moves), "spam2" (the simpler 3-way VLIW), "risc32" (a
+// single-issue load/store RISC) and "riscv5" (a 5-stage pipelined RISC with
+// load-use and branch stalls, demonstrating ISDL's timing model).
 func Machines() map[string]string {
-	return map[string]string{
-		"toy":    machines.ToySource,
-		"spam":   machines.SPAMSource,
-		"spam2":  machines.SPAM2Source,
-		"risc32": machines.RISC32Source,
+	srcs := make(map[string]string)
+	for _, e := range machines.Zoo() {
+		srcs[e.Name] = e.Source
 	}
+	return srcs
 }
